@@ -1,0 +1,179 @@
+//! Induction-variable renaming (the "renaming" of the paper's Fig. 1b).
+//!
+//! An anti-dependence from a late use of an induction register (e.g. the
+//! guarded `COPY m, k` reading `k`) to its update (`k = k + 1`) would force
+//! the update — and the exit-test chain behind it — to wait. Renaming the
+//! update's destination to a fresh register and rewriting *later* uses
+//! breaks the anti-dependence; a `COPY k, k'` appended at the end restores
+//! the architectural value for the next iteration.
+
+use psp_ir::{op::build, OpKind, Operand, Operation, Reg, RegRef};
+use psp_predicate::PredicateMatrix;
+use std::collections::BTreeMap;
+
+/// Rename profitable induction updates in `ops`, allocating fresh registers
+/// from `spec`. Returns the number of renames applied.
+pub fn rename_inductions(
+    ops: &mut Vec<(Operation, PredicateMatrix)>,
+    spec: &mut psp_ir::LoopSpec,
+) -> usize {
+    // Registers defined anywhere in the body (for invariance tests).
+    let mut def_sites: BTreeMap<Reg, Vec<usize>> = BTreeMap::new();
+    for (i, (op, _)) in ops.iter().enumerate() {
+        for d in op.defs() {
+            if let RegRef::Gpr(r) = d {
+                def_sites.entry(r).or_default().push(i);
+            }
+        }
+    }
+    let defined: Vec<Reg> = def_sites.keys().copied().collect();
+    let is_invariant = |o: Operand| match o {
+        Operand::Imm(_) => true,
+        Operand::Reg(r) => !defined.contains(&r),
+    };
+
+    let mut renames = 0;
+    let candidates: Vec<(Reg, usize)> = def_sites
+        .iter()
+        .filter(|(_, sites)| sites.len() == 1)
+        .map(|(&r, sites)| (r, sites[0]))
+        .collect();
+
+    for (r, d) in candidates {
+        if spec.live_out.contains(&RegRef::Gpr(r)) {
+            // A stale architectural value after an early BREAK would be
+            // observable.
+            continue;
+        }
+        let (def_op, ctrl) = &ops[d];
+        if def_op.guard.is_some() || !ctrl.is_universe() {
+            continue; // conditional update: the copy-back could clobber
+        }
+        let renameable = match def_op.kind {
+            OpKind::Alu { dst, a, b, .. } if dst == r => {
+                let self_or_inv =
+                    |o: Operand| o == Operand::Reg(r) || is_invariant(o);
+                self_or_inv(a) && self_or_inv(b)
+            }
+            OpKind::Copy { dst, src } if dst == r => is_invariant(src),
+            _ => false,
+        };
+        if !renameable {
+            continue;
+        }
+        // Profitable only when a later operation still reads the old name.
+        let has_later_use = ops[d + 1..]
+            .iter()
+            .any(|(o, _)| o.uses().contains(&RegRef::Gpr(r)));
+        if !has_later_use {
+            continue;
+        }
+        let fresh = spec.fresh_reg();
+        ops[d].0 = ops[d].0.with_dst_gpr(fresh);
+        for (op, _) in ops[d + 1..].iter_mut() {
+            *op = op.renamed_gpr(r, fresh);
+        }
+        ops.push((build::copy(r, fresh), PredicateMatrix::universe()));
+        renames += 1;
+    }
+    renames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ifconv::if_convert;
+    use psp_ir::op::build::*;
+    use psp_ir::{CcReg, CmpOp, Guard};
+
+    #[test]
+    fn vecmin_k_is_renamed() {
+        let kernel = psp_kernels::by_name("vecmin").unwrap();
+        let mut ic = if_convert(&kernel.spec);
+        let n_before = ic.ops.len();
+        let renames = rename_inductions(&mut ic.ops, &mut ic.spec);
+        assert_eq!(renames, 1);
+        assert_eq!(ic.ops.len(), n_before + 1);
+        // The update writes a fresh register; GE reads it; the guarded COPY
+        // (which reads the *old* k) is untouched.
+        let add = ic
+            .ops
+            .iter()
+            .find(|(o, _)| matches!(o.kind, OpKind::Alu { .. }))
+            .unwrap();
+        let fresh = match add.0.kind {
+            OpKind::Alu { dst, .. } => dst,
+            _ => unreachable!(),
+        };
+        assert!(fresh.0 >= kernel.spec.n_regs);
+        let ge = ic
+            .ops
+            .iter()
+            .find(|(o, _)| matches!(o.kind, OpKind::Cmp { op: CmpOp::Ge, .. }))
+            .unwrap();
+        assert!(ge.0.uses().contains(&RegRef::Gpr(fresh)));
+        let copy_m = ic
+            .ops
+            .iter()
+            .find(|(o, _)| o.guard == Some(Guard::when(CcReg(0))))
+            .unwrap();
+        // COPY m, k still reads the architectural k (it precedes the
+        // update in source order).
+        assert!(!copy_m.0.uses().contains(&RegRef::Gpr(fresh)));
+        // Copy-back appended.
+        let last = ic.ops.last().unwrap();
+        assert!(matches!(last.0.kind, OpKind::Copy { .. }));
+    }
+
+    #[test]
+    fn live_out_registers_not_renamed() {
+        // acc in cond_sum is live-out but also fails the operand test; use
+        // a synthetic case: r = r + 1 with r live-out.
+        use psp_ir::LoopBuilder;
+        let mut b = LoopBuilder::new("lo");
+        let r = b.reg();
+        let cc = b.cc();
+        b.op(add(r, r, 1i64));
+        b.op(cmp(CmpOp::Ge, cc, r, 10i64));
+        b.break_(cc);
+        let spec = b.finish([r], [r]);
+        let mut ic = if_convert(&spec);
+        assert_eq!(rename_inductions(&mut ic.ops, &mut ic.spec), 0);
+    }
+
+    #[test]
+    fn conditional_updates_not_renamed() {
+        use psp_ir::LoopBuilder;
+        let mut b = LoopBuilder::new("cond");
+        let r = b.reg();
+        let k = b.reg();
+        let cc0 = b.cc();
+        let cc1 = b.cc();
+        b.op(cmp(CmpOp::Gt, cc0, k, 0i64));
+        b.if_else(cc0, |b| {
+            b.op(add(r, r, 1i64));
+        }, |_| {});
+        b.op(copy(k, r)); // later use of r
+        b.op(cmp(CmpOp::Ge, cc1, k, 10i64));
+        b.break_(cc1);
+        let spec = b.finish([r, k], Vec::<Reg>::new());
+        let mut ic = if_convert(&spec);
+        assert_eq!(rename_inductions(&mut ic.ops, &mut ic.spec), 0);
+    }
+
+    #[test]
+    fn no_later_use_no_rename() {
+        use psp_ir::LoopBuilder;
+        let mut b = LoopBuilder::new("nouse");
+        let r = b.reg();
+        let s = b.reg();
+        let cc = b.cc();
+        b.op(copy(s, r));
+        b.op(add(r, r, 1i64)); // nothing reads r afterwards
+        b.op(cmp(CmpOp::Ge, cc, s, 10i64));
+        b.break_(cc);
+        let spec = b.finish([r, s], Vec::<Reg>::new());
+        let mut ic = if_convert(&spec);
+        assert_eq!(rename_inductions(&mut ic.ops, &mut ic.spec), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion bench: end-to-end dynamic execution — how many simulated
+//! cycles each compilation level spends on the same workload. The measured
+//! wall time tracks simulated cycles, so relative timings reproduce the
+//! paper's speedup *shape* (sequential > local > PSP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psp_baselines::{compile_local, compile_sequential, compile_unrolled};
+use psp_core::{pipeline_loop, PspConfig};
+use psp_kernels::{by_name, KernelData};
+use psp_machine::MachineConfig;
+use psp_sim::run_vliw;
+
+fn bench_execution(c: &mut Criterion) {
+    let machine = MachineConfig::paper_default();
+    for name in ["vecmin", "cond_sum", "two_cond"] {
+        let kernel = by_name(name).unwrap();
+        let data = KernelData::random(9, 2048);
+        let mut init = kernel.initial_state(&data);
+        init.grow(64, 16);
+
+        let programs = vec![
+            ("seq", compile_sequential(&kernel.spec)),
+            ("local", compile_local(&kernel.spec, &machine)),
+            ("unroll4", compile_unrolled(&kernel.spec, 4, &machine)),
+            (
+                "psp",
+                pipeline_loop(&kernel.spec, &PspConfig::default())
+                    .unwrap()
+                    .program,
+            ),
+        ];
+        let mut g = c.benchmark_group(format!("execute_{name}"));
+        for (label, prog) in programs {
+            g.bench_with_input(BenchmarkId::from_parameter(label), &prog, |b, prog| {
+                b.iter(|| run_vliw(prog, init.clone(), u64::MAX).expect("runs"));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion bench: predicate-matrix and path-set algebra — the operations
+//! the scheduler performs on every pair check.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use psp_predicate::{PathSet, PredicateMatrix};
+
+fn matrices() -> Vec<PredicateMatrix> {
+    let mut out = Vec::new();
+    for r in 0..3u32 {
+        for c in -1..=1i32 {
+            for v in [false, true] {
+                out.push(PredicateMatrix::single(r, c, v));
+                out.push(PredicateMatrix::from_entries([
+                    (r, c, v),
+                    ((r + 1) % 3, c, !v),
+                ]));
+            }
+        }
+    }
+    out
+}
+
+fn bench_algebra(c: &mut Criterion) {
+    let ms = matrices();
+
+    c.bench_function("matrix_is_disjoint_pairwise", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for a in &ms {
+                for bm in &ms {
+                    if black_box(a).is_disjoint(black_box(bm)) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        })
+    });
+
+    c.bench_function("matrix_conjoin_pairwise", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for a in &ms {
+                for bm in &ms {
+                    if black_box(a).conjoin(black_box(bm)).is_some() {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        })
+    });
+
+    c.bench_function("matrix_shift", |b| {
+        b.iter(|| {
+            ms.iter()
+                .map(|m| black_box(m).shifted(1).shifted(-1))
+                .fold(0usize, |n, m| n + m.constrained_len())
+        })
+    });
+
+    let sets: Vec<PathSet> = ms
+        .chunks(4)
+        .map(|c| PathSet::from_matrices(c.to_vec()))
+        .collect();
+    c.bench_function("pathset_union_normalize", |b| {
+        b.iter(|| {
+            let mut acc = PathSet::empty();
+            for s in &sets {
+                acc = acc.union(black_box(s));
+            }
+            acc
+        })
+    });
+
+    c.bench_function("pathset_probability", |b| {
+        b.iter(|| {
+            sets.iter()
+                .map(|s| black_box(s).probability(|_, _| 0.3))
+                .sum::<f64>()
+        })
+    });
+
+    c.bench_function("pathset_subsumes", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for a in &sets {
+                for s in &sets {
+                    if black_box(a).subsumes(black_box(s)) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        })
+    });
+}
+
+criterion_group!(benches, bench_algebra);
+criterion_main!(benches);

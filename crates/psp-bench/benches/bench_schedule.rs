@@ -1,0 +1,34 @@
+//! Criterion bench: PSP scheduling cost per kernel (experiment E5's
+//! "acceptable cost" claim — wall-clock to pipeline one loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psp_core::{pipeline_loop, PspConfig};
+use psp_machine::MachineConfig;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("psp_schedule");
+    for kernel in psp_kernels::all_kernels() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name),
+            &kernel,
+            |b, kernel| {
+                let cfg = PspConfig::default();
+                b.iter(|| pipeline_loop(&kernel.spec, &cfg).expect("pipelines"));
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("psp_schedule_narrow");
+    for name in ["vecmin", "clamp_store", "two_cond"] {
+        let kernel = psp_kernels::by_name(name).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &kernel, |b, kernel| {
+            let cfg = PspConfig::with_machine(MachineConfig::narrow(2, 1, 1));
+            b.iter(|| pipeline_loop(&kernel.spec, &cfg).expect("pipelines"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

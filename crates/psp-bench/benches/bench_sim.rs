@@ -1,0 +1,40 @@
+//! Criterion bench: simulator throughput — cycles interpreted per second
+//! for the reference interpreter and the VLIW interpreter on sequential
+//! and pipelined code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psp_baselines::compile_sequential;
+use psp_core::{pipeline_loop, PspConfig};
+use psp_kernels::{by_name, KernelData};
+use psp_sim::{run_reference, run_vliw};
+
+fn bench_interpreters(c: &mut Criterion) {
+    let kernel = by_name("vecmin").unwrap();
+    let data = KernelData::random(5, 4096);
+    let init = kernel.initial_state(&data);
+
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(data.len() as u64));
+
+    g.bench_with_input(BenchmarkId::new("reference", "vecmin"), &init, |b, init| {
+        b.iter(|| run_reference(&kernel.spec, init.clone(), u64::MAX).expect("runs"));
+    });
+
+    let seq = compile_sequential(&kernel.spec);
+    g.bench_with_input(BenchmarkId::new("vliw_seq", "vecmin"), &init, |b, init| {
+        let mut st = init.clone();
+        st.grow(kernel.spec.n_regs, kernel.spec.n_ccs);
+        b.iter(|| run_vliw(&seq, st.clone(), u64::MAX).expect("runs"));
+    });
+
+    let psp = pipeline_loop(&kernel.spec, &PspConfig::default()).unwrap();
+    g.bench_with_input(BenchmarkId::new("vliw_psp", "vecmin"), &init, |b, init| {
+        let mut st = init.clone();
+        st.grow(64, 16);
+        b.iter(|| run_vliw(&psp.program, st.clone(), u64::MAX).expect("runs"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interpreters);
+criterion_main!(benches);

@@ -1,0 +1,611 @@
+//! Loop code generation: reconstructing a control-flow graph from the
+//! encoded schedule (paper §2, Figure 3).
+//!
+//! The generator walks the schedule row by row, maintaining a set of open
+//! basic blocks, each labeled with the predicate matrix of its *actual*
+//! paths:
+//!
+//! 1. the initial block set splits the universe on every *incoming*
+//!    predicate — one whose outcome is computed in a previous transformed
+//!    iteration (per the IFLog);
+//! 2. every instance is placed in all open blocks with compatible
+//!    (non-disjoint) matrices; an instance constrained on a predicate that
+//!    an IF in the *same row* computes receives a guard (it sits on the
+//!    matching subtree of the tree instruction); an instance constrained on
+//!    a not-yet-computed predicate executes speculatively (its actual path
+//!    set widens beyond its formal one);
+//! 3. a block ends with the row in which an IF instance was placed; two
+//!    successors are opened with the IF's matrix element set to `0` and
+//!    `1` (several IFs in one row fan out through zero-cycle dispatch
+//!    blocks);
+//! 4. after the last row, every open block links back to the entry block
+//!    whose matrix *subsumes its own left-shifted matrix* — the paper's
+//!    loop-back linkage rule;
+//! 5. empty jump-only blocks are deleted.
+//!
+//! The *preloop* (startup code) re-executes, once per level of pipelining,
+//! the wrapped instances (operation index ≥ 1) that the steady state
+//! assumes were issued by earlier iterations; a dispatch chain then enters
+//! the steady state through the entry block selected by the predicates the
+//! preloop computed. No postloop is needed: the transformation rules forbid
+//! any motion that would require exit compensation.
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use psp_ir::{Guard, Operation};
+use psp_machine::{BlockId, MachineConfig, Succ, VliwBlock, VliwLoop, VliwTerm};
+use psp_predicate::{PredAvailability, PredicateMatrix};
+use std::fmt;
+
+/// Code-generation failure. The scheduling driver treats these as a signal
+/// to discard the candidate transformation that led here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// A constrained predicate is computed by no IF instance.
+    UnresolvedPredicate(u32, i32),
+    /// A non-speculable instance could not be placed exactly on its formal
+    /// paths.
+    Unplaceable(&'static str),
+    /// An instance would need guards from two IFs of the same row.
+    MultiGuard,
+    /// Two speculatively co-executing clones conflict on a destination.
+    SpeculativeConflict,
+    /// A loop-back edge found no entry block to link to.
+    NoBackEdgeTarget,
+    /// Deep pipelining produced two incoming predicates in one IF row; the
+    /// single condition register cannot dispatch on both.
+    DispatchUnsupported,
+    /// A generated cycle exceeds the machine's resources.
+    Resource(String),
+    /// The startup contract cannot be established by the preloop emulator
+    /// (see `preloop`); the driver discards the candidate.
+    PreloopUnsupported(&'static str),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::UnresolvedPredicate(r, c) => {
+                write!(f, "predicate ({r},{c}) is never computed")
+            }
+            CodegenError::Unplaceable(s) => write!(f, "unplaceable instance: {s}"),
+            CodegenError::MultiGuard => write!(f, "instance needs two same-row guards"),
+            CodegenError::SpeculativeConflict => {
+                write!(f, "speculative clones conflict on a destination")
+            }
+            CodegenError::NoBackEdgeTarget => write!(f, "no entry block subsumes a loop-back"),
+            CodegenError::DispatchUnsupported => {
+                write!(f, "multiple incoming columns for one IF row")
+            }
+            CodegenError::Resource(s) => write!(f, "resource overflow: {s}"),
+            CodegenError::PreloopUnsupported(s) => {
+                write!(f, "preloop cannot establish the entry contract: {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Token identifying one logical block during construction.
+type Token = usize;
+
+/// An open (under-construction) block.
+#[derive(Debug, Clone)]
+struct OpenBlock {
+    token: Token,
+    matrix: PredicateMatrix,
+    cycles: Vec<Vec<Operation>>,
+    /// Placed instances with their guards and *actual execution
+    /// conditions* (block matrix at placement time conjoined with the
+    /// guard's predicate), for conflict validation.
+    placed: Vec<(Instance, Option<Guard>, PredicateMatrix)>,
+}
+
+/// A finished logical block.
+#[derive(Debug)]
+struct Done {
+    token: Token,
+    matrix: PredicateMatrix,
+    cycles: Vec<Vec<Operation>>,
+    term: DoneTerm,
+}
+
+#[derive(Debug)]
+enum DoneTerm {
+    /// Fan-out over IFs placed in the final row; `children` maps each leaf
+    /// outcome matrix to the child's token.
+    Splits {
+        splits: Vec<(psp_ir::CcReg, u32, i32)>,
+        children: Vec<(PredicateMatrix, Token)>,
+    },
+    /// Loop-back edge.
+    Back,
+}
+
+/// Generate executable code for a schedule.
+pub fn generate(sched: &Schedule, machine: &MachineConfig) -> Result<VliwLoop, CodegenError> {
+    let iflog = sched.iflog();
+
+    // --- incoming predicates -------------------------------------------
+    let mut incoming: Vec<(u32, i32)> = Vec::new();
+    for inst in sched.instances() {
+        for (r, c, _v) in inst.formal.constrained() {
+            match iflog.availability(r, c) {
+                PredAvailability::PreviousIteration { .. } if !incoming.contains(&(r, c)) => {
+                    incoming.push((r, c));
+                }
+                PredAvailability::NotComputed => {
+                    return Err(CodegenError::UnresolvedPredicate(r, c))
+                }
+                _ => {}
+            }
+        }
+    }
+    incoming.sort_unstable();
+    // One incoming column per IF row (a single condition register cannot
+    // hold two iterations' outcomes).
+    for w in incoming.windows(2) {
+        if w[0].0 == w[1].0 {
+            return Err(CodegenError::DispatchUnsupported);
+        }
+    }
+
+    // --- entry blocks ------------------------------------------------------
+    let mut next_token: Token = 0;
+    let mut fresh = move || {
+        let t = next_token;
+        next_token += 1;
+        t
+    };
+    let mut entry_matrices = vec![PredicateMatrix::universe()];
+    for &(r, c) in &incoming {
+        let mut next = Vec::with_capacity(entry_matrices.len() * 2);
+        for m in entry_matrices {
+            let (f, t) = m.split(r, c).expect("entry split on fresh element");
+            next.push(f);
+            next.push(t);
+        }
+        entry_matrices = next;
+    }
+    let mut open: Vec<OpenBlock> = entry_matrices
+        .iter()
+        .map(|m| OpenBlock {
+            token: fresh(),
+            matrix: m.clone(),
+            cycles: Vec::new(),
+            placed: Vec::new(),
+        })
+        .collect();
+    let entry_tokens: Vec<Token> = open.iter().map(|b| b.token).collect();
+    let mut done: Vec<Done> = Vec::new();
+
+    // --- walk the rows ---------------------------------------------------
+    for row in &sched.rows {
+        let mut next_open = Vec::new();
+        for mut block in open {
+            let row_ifs: Vec<&Instance> = row
+                .iter()
+                .filter(|i| i.op.is_if() && !i.formal.is_disjoint(&block.matrix))
+                .collect();
+            let mut cycle: Vec<Operation> = Vec::new();
+            for inst in row {
+                if inst.formal.is_disjoint(&block.matrix) {
+                    continue;
+                }
+                let (guard, guard_pred) = guard_for(inst, &block, &row_ifs)?;
+                let mut op = inst.op;
+                op.guard = guard;
+                cycle.push(op);
+                let exec = match guard_pred {
+                    Some((r, c, v)) => block
+                        .matrix
+                        .with(r, c, psp_predicate::PredElem::from_bool(v)),
+                    None => block.matrix.clone(),
+                };
+                block.placed.push((inst.clone(), guard, exec));
+            }
+            validate_block_conflicts(&block)?;
+            if !cycle.is_empty() {
+                block.cycles.push(cycle);
+            }
+            if row_ifs.is_empty() {
+                next_open.push(block);
+                continue;
+            }
+            // Block ends: fan out over the IFs placed in this row.
+            let splits: Vec<(psp_ir::CcReg, u32, i32)> = row_ifs
+                .iter()
+                .map(|i| match i.op.kind {
+                    psp_ir::OpKind::If { cc } => {
+                        (cc, i.computes_if.expect("IF computes a row"), i.index)
+                    }
+                    _ => unreachable!(),
+                })
+                .collect();
+            let mut mats = vec![block.matrix.clone()];
+            for &(_cc, r, c) in &splits {
+                let mut next = Vec::with_capacity(mats.len() * 2);
+                for m in mats {
+                    match m.split(r, c) {
+                        Some((f, t)) => {
+                            next.push(f);
+                            next.push(t);
+                        }
+                        // Outcome already known on these paths: one child.
+                        None => next.push(m),
+                    }
+                }
+                mats = next;
+            }
+            let mut children = Vec::with_capacity(mats.len());
+            for m in mats {
+                let token = fresh();
+                children.push((m.clone(), token));
+                next_open.push(OpenBlock {
+                    token,
+                    matrix: m,
+                    cycles: Vec::new(),
+                    placed: block.placed.clone(),
+                });
+            }
+            done.push(Done {
+                token: block.token,
+                matrix: block.matrix,
+                cycles: block.cycles,
+                term: DoneTerm::Splits { splits, children },
+            });
+        }
+        open = next_open;
+    }
+    for block in open {
+        done.push(Done {
+            token: block.token,
+            matrix: block.matrix,
+            cycles: block.cycles,
+            term: DoneTerm::Back,
+        });
+    }
+
+    // --- materialize VliwBlocks --------------------------------------------
+    let mut blocks: Vec<VliwBlock> = Vec::new();
+    let mut id_of_token: Vec<Option<BlockId>> = Vec::new();
+    for d in &done {
+        let id = blocks.len();
+        blocks.push(VliwBlock {
+            id,
+            matrix: d.matrix.clone(),
+            cycles: d.cycles.clone(),
+            term: VliwTerm::Exit, // placeholder
+        });
+        if id_of_token.len() <= d.token {
+            id_of_token.resize(d.token + 1, None);
+        }
+        id_of_token[d.token] = Some(id);
+    }
+    let block_of = |t: Token| -> BlockId { id_of_token[t].expect("all tokens finished") };
+
+    let entry_ids: Vec<BlockId> = entry_tokens.iter().map(|&t| block_of(t)).collect();
+
+    for (di, d) in done.iter().enumerate() {
+        let my_id = block_of(done[di].token);
+        match &d.term {
+            DoneTerm::Back => {
+                let shifted = d.matrix.shifted(-1);
+                let target = entry_matrices
+                    .iter()
+                    .position(|e| e.subsumes(&shifted))
+                    .ok_or(CodegenError::NoBackEdgeTarget)?;
+                blocks[my_id].term = VliwTerm::Jump(Succ::back(entry_ids[target]));
+            }
+            DoneTerm::Splits { splits, children } => {
+                let lookup = |m: &PredicateMatrix| -> Option<BlockId> {
+                    children
+                        .iter()
+                        .find(|(cm, _)| cm == m)
+                        .map(|&(_, t)| block_of(t))
+                };
+                let term = build_dispatch(&mut blocks, &d.matrix, splits, &lookup)?;
+                blocks[my_id].term = term;
+            }
+        }
+    }
+
+    // --- preloop -----------------------------------------------------------
+    // Establish the steady-state entry contract by reaching-definition
+    // analysis and emulation of the startup iterations (see `preloop`).
+    let (prologue, dispatch_map) = crate::preloop::build_preloop(sched, &incoming)?;
+
+    // --- entry dispatch ------------------------------------------------------
+    let entry = if incoming.is_empty() {
+        entry_ids[0]
+    } else {
+        let splits: Vec<(psp_ir::CcReg, u32, i32)> = incoming
+            .iter()
+            .map(|&(r, c)| {
+                let cc = dispatch_map
+                    .get(&(r, c))
+                    .copied()
+                    .ok_or(CodegenError::UnresolvedPredicate(r, c))?;
+                Ok((cc, r, c))
+            })
+            .collect::<Result<_, CodegenError>>()?;
+        let lookup = |m: &PredicateMatrix| -> Option<BlockId> {
+            entry_matrices
+                .iter()
+                .position(|e| e == m)
+                .map(|i| entry_ids[i])
+        };
+        let root_matrix = PredicateMatrix::universe();
+        let root_id = blocks.len();
+        blocks.push(VliwBlock {
+            id: root_id,
+            matrix: root_matrix.clone(),
+            cycles: Vec::new(),
+            term: VliwTerm::Exit,
+        });
+        let term = build_dispatch(&mut blocks, &root_matrix, &splits, &lookup)?;
+        blocks[root_id].term = term;
+        root_id
+    };
+
+    let mut result = VliwLoop {
+        name: format!("{}-psp", sched.spec.name),
+        prologue,
+        blocks,
+        entry,
+        epilogue: Vec::new(),
+    };
+    cleanup_empty_jump_blocks(&mut result);
+    result.validate(machine).map_err(CodegenError::Resource)?;
+    Ok(result)
+}
+
+/// Terminator (possibly via zero-cycle dispatch blocks) implementing a
+/// sequence of matrix splits from `base`, resolving leaves with `lookup`.
+fn build_dispatch(
+    blocks: &mut Vec<VliwBlock>,
+    base: &PredicateMatrix,
+    splits: &[(psp_ir::CcReg, u32, i32)],
+    lookup: &dyn Fn(&PredicateMatrix) -> Option<BlockId>,
+) -> Result<VliwTerm, CodegenError> {
+    let (cc, r, c) = splits[0];
+    let rest = &splits[1..];
+    let mut child = |outcome: bool| -> Result<Succ, CodegenError> {
+        // If the base already fixes the outcome, both branch directions
+        // continue on the single consistent path.
+        let m = if base.get(r, c).is_constrained() {
+            base.clone()
+        } else {
+            base.with(r, c, psp_predicate::PredElem::from_bool(outcome))
+        };
+        if rest.is_empty() {
+            let id = lookup(&m).ok_or(CodegenError::NoBackEdgeTarget)?;
+            Ok(Succ::fall(id))
+        } else {
+            let id = blocks.len();
+            blocks.push(VliwBlock {
+                id,
+                matrix: m.clone(),
+                cycles: Vec::new(),
+                term: VliwTerm::Exit,
+            });
+            let t = build_dispatch(blocks, &m, rest, lookup)?;
+            blocks[id].term = t;
+            Ok(Succ::fall(id))
+        }
+    };
+    let on_false = child(false)?;
+    let on_true = child(true)?;
+    Ok(VliwTerm::Branch {
+        cc,
+        on_true,
+        on_false,
+    })
+}
+
+/// The guard an instance needs inside a block, if any, together with the
+/// predicate position the guard tests (for exec-condition tracking).
+#[allow(clippy::type_complexity)]
+fn guard_for(
+    inst: &Instance,
+    block: &OpenBlock,
+    row_ifs: &[&Instance],
+) -> Result<(Option<Guard>, Option<(u32, i32, bool)>), CodegenError> {
+    let mut guard: Option<Guard> = None;
+    let mut guard_pred: Option<(u32, i32, bool)> = None;
+    for (r, c, v) in inst.formal.constrained() {
+        if block.matrix.get(r, c).is_constrained() {
+            // The block preselects the path (values agree, else the
+            // matrices would be disjoint).
+            continue;
+        }
+        // Does an IF in this very row compute the predicate?
+        let same_row_if = row_ifs
+            .iter()
+            .find(|i| i.computes_if == Some(r) && i.index == c);
+        if let Some(ifinst) = same_row_if {
+            let cc = match ifinst.op.kind {
+                psp_ir::OpKind::If { cc } => cc,
+                _ => unreachable!(),
+            };
+            if guard.is_some() {
+                return Err(CodegenError::MultiGuard);
+            }
+            guard = Some(Guard { cc, on_true: v });
+            guard_pred = Some((r, c, v));
+            continue;
+        }
+        // Unresolved here: speculative execution — legal only for
+        // speculable operations. (Also covers predicates computed earlier
+        // whose blocks did not split because the computing IF was itself
+        // conditional.)
+        if !inst.op.is_speculable() {
+            return Err(CodegenError::Unplaceable(
+                "non-speculable instance on an unresolved predicate",
+            ));
+        }
+    }
+    Ok((guard, guard_pred))
+}
+
+/// Two placed instances whose formal path sets are disjoint must never
+/// *actually* co-execute while writing the same destination: compare their
+/// actual execution conditions (placement matrix ∧ guard predicate).
+fn validate_block_conflicts(block: &OpenBlock) -> Result<(), CodegenError> {
+    for i in 0..block.placed.len() {
+        for j in (i + 1)..block.placed.len() {
+            let (a, _ga, ea) = &block.placed[i];
+            let (b, _gb, eb) = &block.placed[j];
+            if !a.formal.is_disjoint(&b.formal) {
+                continue; // ordinary (ordered) writes on shared paths
+            }
+            if ea.is_disjoint(eb) {
+                continue; // never co-execute at runtime
+            }
+            let defs_a = a.op.defs();
+            if defs_a.iter().any(|d| b.op.defs().contains(d)) {
+                return Err(CodegenError::SpeculativeConflict);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Delete empty jump-only blocks by redirecting their predecessors
+/// (dispatch blocks — empty with a branch — are kept).
+fn cleanup_empty_jump_blocks(prog: &mut VliwLoop) {
+    fn resolve(prog: &VliwLoop, mut s: Succ) -> Succ {
+        let mut hops = 0;
+        while let VliwTerm::Jump(next) = prog.blocks[s.block].term {
+            if !prog.blocks[s.block].cycles.is_empty() {
+                break;
+            }
+            s = Succ {
+                block: next.block,
+                back_edge: s.back_edge || next.back_edge,
+            };
+            hops += 1;
+            if hops > prog.blocks.len() {
+                break; // cycle of empty blocks: leave as is
+            }
+        }
+        s
+    }
+    let snapshot = prog.clone();
+    for b in &mut prog.blocks {
+        b.term = match b.term {
+            VliwTerm::Jump(s) => VliwTerm::Jump(resolve(&snapshot, s)),
+            VliwTerm::Branch {
+                cc,
+                on_true,
+                on_false,
+            } => VliwTerm::Branch {
+                cc,
+                on_true: resolve(&snapshot, on_true),
+                on_false: resolve(&snapshot, on_false),
+            },
+            VliwTerm::Exit => VliwTerm::Exit,
+        };
+    }
+    prog.entry = resolve(&snapshot, Succ::fall(prog.entry)).block;
+    // Garbage-collect unreachable blocks, remapping ids.
+    let mut reach = vec![false; prog.blocks.len()];
+    let mut stack = vec![prog.entry];
+    while let Some(b) = stack.pop() {
+        if reach[b] {
+            continue;
+        }
+        reach[b] = true;
+        for s in prog.blocks[b].term.succs() {
+            stack.push(s.block);
+        }
+    }
+    let mut remap = vec![usize::MAX; prog.blocks.len()];
+    let mut kept = Vec::new();
+    for (i, b) in prog.blocks.drain(..).enumerate() {
+        if reach[i] {
+            remap[i] = kept.len();
+            kept.push(b);
+        }
+    }
+    let fix = |s: Succ| Succ {
+        block: remap[s.block],
+        back_edge: s.back_edge,
+    };
+    for (new_id, b) in kept.iter_mut().enumerate() {
+        b.id = new_id;
+        b.term = match b.term {
+            VliwTerm::Jump(s) => VliwTerm::Jump(fix(s)),
+            VliwTerm::Branch {
+                cc,
+                on_true,
+                on_false,
+            } => VliwTerm::Branch {
+                cc,
+                on_true: fix(on_true),
+                on_false: fix(on_false),
+            },
+            VliwTerm::Exit => VliwTerm::Exit,
+        };
+    }
+    prog.blocks = kept;
+    prog.entry = remap[prog.entry];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psp_kernels::{by_name, KernelData};
+    use psp_sim::check_equivalence;
+
+    fn m() -> MachineConfig {
+        MachineConfig::paper_default()
+    }
+
+    #[test]
+    fn initial_schedule_generates_sequential_equivalent() {
+        for kernel in psp_kernels::all_kernels() {
+            let sched = Schedule::initial(&kernel.spec);
+            let prog =
+                generate(&sched, &m()).unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            for seed in 0..3u64 {
+                let data = KernelData::random(seed + 5, 29);
+                let init = kernel.initial_state(&data);
+                let (_, run) = check_equivalence(&kernel.spec, &prog, &init, 1_000_000)
+                    .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+                kernel.check(&run.state, &data).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn initial_vecmin_codegen_has_paper_iis() {
+        // Unscheduled: one op per row → per-path II 7 (False) and 8 (True).
+        let kernel = by_name("vecmin").unwrap();
+        let sched = Schedule::initial(&kernel.spec);
+        let prog = generate(&sched, &m()).unwrap();
+        assert_eq!(prog.ii_range(), Some((7, 8)));
+    }
+
+    #[test]
+    fn variable_ii_blocks_skip_disjoint_rows() {
+        // The COPY row issues nothing on the False path: the False block
+        // is one cycle shorter.
+        let kernel = by_name("vecmin").unwrap();
+        let sched = Schedule::initial(&kernel.spec);
+        let prog = generate(&sched, &m()).unwrap();
+        let iis = prog.path_iis();
+        let cycles: Vec<usize> = iis.iter().map(|p| p.cycles).collect();
+        assert!(cycles.contains(&7) && cycles.contains(&8));
+    }
+
+    #[test]
+    fn no_incoming_predicates_means_single_entry() {
+        let kernel = by_name("vecmin").unwrap();
+        let sched = Schedule::initial(&kernel.spec);
+        let prog = generate(&sched, &m()).unwrap();
+        assert!(prog.prologue.is_empty());
+        assert_eq!(prog.steady_entries().len(), 1);
+    }
+}

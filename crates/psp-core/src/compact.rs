@@ -1,0 +1,128 @@
+//! Compaction: repeated moveup to the earliest feasible row.
+//!
+//! This is the intra-body percolation pass. Run on the initial schedule it
+//! reproduces the effect of local scheduling with renaming (paper Fig. 1b);
+//! run after each wrap it re-packs the freed rows, which is where the
+//! pipelining payoff appears.
+//!
+//! Renaming is powerful but produces a leftover `COPY` each time, so it is
+//! applied judiciously: every round first exhausts rename-free moves
+//! (including combining and copy substitution), then allows renames. A
+//! renamed `COPY`'s consumers later substitute through it, so the rename is
+//! effectively consumer-rewriting without a second traversal.
+
+use crate::instance::InstId;
+use crate::schedule::Schedule;
+use crate::transform::{moveup_ext, prune_stalls, MovePolicy};
+use psp_machine::MachineConfig;
+
+/// One sweep over all instances, attempting the earliest feasible row for
+/// each. Returns the number of moves.
+fn sweep(sched: &mut Schedule, machine: &MachineConfig, policy: MovePolicy) -> usize {
+    let mut moves = 0;
+    let ids: Vec<InstId> = sched.instances().map(|i| i.id).collect();
+    for id in ids {
+        let Some((cur, _)) = sched.find(id) else {
+            continue;
+        };
+        for target in 0..cur {
+            if moveup_ext(sched, id, target, machine, policy).is_ok() {
+                moves += 1;
+                break;
+            }
+        }
+    }
+    moves
+}
+
+/// Move every instance as early as dependences, speculation rules, and
+/// resources allow; prune stall rows. Returns the number of moves applied.
+pub fn compact(sched: &mut Schedule, machine: &MachineConfig) -> usize {
+    compact_ext(sched, machine, true)
+}
+
+/// [`compact`] with renaming optionally disabled (the ablation of the
+/// paper's "local scheduling *with renaming*").
+pub fn compact_ext(sched: &mut Schedule, machine: &MachineConfig, allow_rename: bool) -> usize {
+    let cap = 16 * sched.n_instances().max(8) * sched.n_rows().max(1);
+    let mut total = 0usize;
+    loop {
+        // Exhaust rename-free motion first.
+        loop {
+            let n = sweep(sched, machine, MovePolicy::FREE);
+            total += n;
+            prune_stalls(sched, machine);
+            if n == 0 || total >= cap {
+                break;
+            }
+        }
+        if total >= cap || !allow_rename {
+            return total;
+        }
+        // One rename-allowed sweep; if it finds nothing, we are done.
+        let n = sweep(sched, machine, MovePolicy::RENAME);
+        total += n;
+        prune_stalls(sched, machine);
+        if n == 0 || total >= cap {
+            return total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+
+    fn m() -> MachineConfig {
+        MachineConfig::paper_default()
+    }
+
+    #[test]
+    fn compacting_vecmin_reaches_three_rows() {
+        // Fig. 1b: local scheduling with renaming reaches II = 3.
+        let kernel = psp_kernels::by_name("vecmin").unwrap();
+        let mut s = Schedule::initial(&kernel.spec);
+        let moves = compact(&mut s, &m());
+        assert!(moves > 0);
+        assert_eq!(s.n_rows(), 3, "\n{s}");
+    }
+
+    #[test]
+    fn compaction_is_idempotent() {
+        let kernel = psp_kernels::by_name("vecmin").unwrap();
+        let mut s = Schedule::initial(&kernel.spec);
+        compact(&mut s, &m());
+        let snapshot = s.render();
+        let more = compact(&mut s, &m());
+        assert_eq!(more, 0);
+        assert_eq!(s.render(), snapshot);
+    }
+
+    #[test]
+    fn narrow_machine_limits_compaction() {
+        let kernel = psp_kernels::by_name("vecmin").unwrap();
+        let mut wide = Schedule::initial(&kernel.spec);
+        compact(&mut wide, &m());
+        let mut narrow = Schedule::initial(&kernel.spec);
+        compact(&mut narrow, &MachineConfig::narrow(1, 1, 1));
+        assert!(narrow.n_rows() > wide.n_rows());
+        narrow
+            .validate_resources(&MachineConfig::narrow(1, 1, 1))
+            .unwrap();
+    }
+
+    #[test]
+    fn all_kernels_compact_and_stay_valid() {
+        for kernel in psp_kernels::all_kernels() {
+            let mut s = Schedule::initial(&kernel.spec);
+            let initial_rows = s.n_rows();
+            compact(&mut s, &m());
+            assert!(s.n_rows() <= initial_rows, "{}", kernel.name);
+            s.validate_resources(&m())
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            crate::transform::validate_latencies(&s, &m())
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        }
+    }
+}

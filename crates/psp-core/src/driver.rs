@@ -1,0 +1,374 @@
+//! The iterative PSP technique (paper §3).
+//!
+//! Each step generates a set of candidate transformations directed at
+//! shortening the II (wraps of row-0 instances, splits that disjoin blocked
+//! movers), evaluates each candidate on a clone of the schedule (apply +
+//! compact + code generation + score), applies the best strictly-improving
+//! one, and repeats. There is no backtracking: a candidate that fails to
+//! improve — or whose code generation fails — is simply discarded.
+
+use crate::codegen::{generate, CodegenError};
+use crate::compact::compact_ext;
+use crate::heuristics::{score, BranchProbs, Score};
+use crate::instance::InstId;
+use crate::schedule::Schedule;
+use crate::transform::{self, split_candidates, Transformation};
+use psp_ir::LoopSpec;
+use psp_machine::{MachineConfig, VliwLoop};
+
+/// Configuration of the PSP pipeliner.
+#[derive(Debug, Clone)]
+pub struct PspConfig {
+    /// Target machine.
+    pub machine: MachineConfig,
+    /// Maximum pipelining depth: rounds of wrapping the whole first row
+    /// across the loop boundary (each round can add one level of overlap).
+    pub max_depth: usize,
+    /// Maximum number of strictly improving refinement steps afterwards, a
+    /// safeguard against pathological growth.
+    pub max_steps: usize,
+    /// Whether split candidates are generated.
+    pub enable_split: bool,
+    /// Whether compaction may rename (ablation of "local scheduling with
+    /// renaming"; wrapping still renames where correctness demands it).
+    pub enable_rename: bool,
+    /// Optional branch profile for the §4 probability-driven heuristics;
+    /// `None` selects the static (worst-path) objective.
+    pub probs: Option<BranchProbs>,
+}
+
+impl Default for PspConfig {
+    fn default() -> Self {
+        Self {
+            machine: MachineConfig::paper_default(),
+            max_depth: 4,
+            max_steps: 32,
+            enable_split: true,
+            enable_rename: true,
+            probs: None,
+        }
+    }
+}
+
+impl PspConfig {
+    /// Config with a specific machine.
+    pub fn with_machine(machine: MachineConfig) -> Self {
+        Self {
+            machine,
+            ..Self::default()
+        }
+    }
+}
+
+/// Statistics of one pipelining run (the paper's "acceptable cost" claim is
+/// measured from these).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PspStats {
+    /// Moveups applied by compaction.
+    pub moves: usize,
+    /// Cross-boundary wraps applied.
+    pub wraps: usize,
+    /// Splits applied.
+    pub splits: usize,
+    /// Candidates evaluated (each evaluation = clone + compact + codegen).
+    pub candidates: usize,
+    /// Improvement rounds taken.
+    pub rounds: usize,
+}
+
+/// Result of pipelining one loop.
+#[derive(Debug, Clone)]
+pub struct PspResult {
+    /// The final schedule (for display à la Figure 2).
+    pub schedule: Schedule,
+    /// The generated loop (paper Figure 3 / Figure 1c).
+    pub program: VliwLoop,
+    /// Cost counters.
+    pub stats: PspStats,
+    /// Final score.
+    pub score: Score,
+}
+
+/// Pipeline a loop with the PSP technique.
+///
+/// Phase A compacts the initial schedule (reproducing local scheduling
+/// with renaming). Phase B performs pipelining rounds: each round wraps
+/// every wrappable row-0 instance across the loop boundary and recompacts;
+/// the best schedule seen (by [`Score`]) is retained — a single wrap is
+/// rarely an immediate win, so rounds are speculative up to
+/// [`PspConfig::max_depth`]. Phase C greedily applies strictly improving
+/// split / wrap candidates until fixpoint.
+pub fn pipeline_loop(spec: &LoopSpec, cfg: &PspConfig) -> Result<PspResult, CodegenError> {
+    let mut stats = PspStats::default();
+    let mut sched = Schedule::initial(spec);
+    stats.moves += compact_ext(&mut sched, &cfg.machine, cfg.enable_rename);
+
+    let (s0, p0) = match score(&sched, &cfg.machine, cfg.probs.as_ref()) {
+        Some(x) => x,
+        None => {
+            // The compacted schedule should always be generatable; fall
+            // back to the raw initial schedule if a corner case breaks it.
+            sched = Schedule::initial(spec);
+            let prog = generate(&sched, &cfg.machine)?;
+            let primary = prog.ii_range().map(|(_, m)| m as f64).unwrap_or(0.0);
+            (
+                Score {
+                    primary,
+                    rows: sched.n_rows(),
+                    instances: sched.n_instances(),
+                },
+                prog,
+            )
+        }
+    };
+    let mut best: (Score, Schedule, VliwLoop) = (s0.clone(), sched.clone(), p0);
+    // Score of the schedule currently being extended (may transiently be
+    // worse than the best seen — a wrap round alone rarely pays off until
+    // the following refinement).
+    let mut cur_score = Some(s0);
+
+    for _depth in 0..cfg.max_depth {
+        // Refinement: strictly improving split/wrap steps on the current
+        // schedule.
+        for _step in 0..cfg.max_steps {
+            let candidates = generate_candidates(&sched, cfg);
+            let mut round_best: Option<(Transformation, Score, Schedule, VliwLoop, usize)> =
+                None;
+            for t in candidates {
+                stats.candidates += 1;
+                let mut trial = sched.clone();
+                if transform::apply(&mut trial, &t, &cfg.machine).is_err() {
+                    continue;
+                }
+                let moves = compact_ext(&mut trial, &cfg.machine, cfg.enable_rename);
+                let Some((s, prog)) = score(&trial, &cfg.machine, cfg.probs.as_ref()) else {
+                    continue;
+                };
+                let improves_current = match &cur_score {
+                    Some(c) => s.better_than(c),
+                    None => true,
+                };
+                if improves_current
+                    && round_best
+                        .as_ref()
+                        .map(|(_, bs, ..)| s.better_than(bs))
+                        .unwrap_or(true)
+                {
+                    round_best = Some((t, s, trial, prog, moves));
+                }
+            }
+            match round_best {
+                Some((t, s, trial, prog, moves)) => {
+                    match &t {
+                        Transformation::WrapUp { .. } => stats.wraps += 1,
+                        Transformation::Split { .. } => stats.splits += 1,
+                        _ => {}
+                    }
+                    stats.moves += moves;
+                    stats.rounds += 1;
+                    sched = trial.clone();
+                    if s.better_than(&best.0) {
+                        best = (s.clone(), trial, prog);
+                    }
+                    cur_score = Some(s);
+                }
+                None => break, // local fixpoint
+            }
+        }
+
+        // Deepen the pipeline: wrap the whole first row.
+        let row0: Vec<InstId> = sched
+            .rows
+            .first()
+            .map(|r| r.iter().map(|i| i.id).collect())
+            .unwrap_or_default();
+        let mut wrapped = 0;
+        for id in row0 {
+            if transform::wrap_up(&mut sched, id, &cfg.machine).is_ok() {
+                wrapped += 1;
+            }
+        }
+        if wrapped == 0 {
+            break;
+        }
+        stats.wraps += wrapped;
+        stats.rounds += 1;
+        stats.moves += compact_ext(&mut sched, &cfg.machine, cfg.enable_rename);
+        match score(&sched, &cfg.machine, cfg.probs.as_ref()) {
+            Some((s, prog)) => {
+                stats.candidates += 1;
+                if s.better_than(&best.0) {
+                    best = (s.clone(), sched.clone(), prog);
+                }
+                cur_score = Some(s);
+            }
+            None => {
+                cur_score = None; // keep refining; codegen may recover
+            }
+        }
+    }
+
+    Ok(PspResult {
+        schedule: best.1,
+        program: best.2,
+        stats,
+        score: best.0,
+    })
+}
+
+/// Candidate transformations directed at shortening the II.
+fn generate_candidates(sched: &Schedule, cfg: &PspConfig) -> Vec<Transformation> {
+    let mut out = Vec::new();
+    // Wraps: every row-0 instance is a pipelining candidate.
+    if let Some(row0) = sched.rows.first() {
+        for inst in row0 {
+            out.push(Transformation::WrapUp { id: inst.id });
+        }
+    }
+    // Unifies: clone pairs that ended up side by side merge back,
+    // shrinking code (strictly better via the tertiary score component
+    // when the II and row count hold).
+    for row in &sched.rows {
+        for i in 0..row.len() {
+            for j in (i + 1)..row.len() {
+                let (a, b) = (&row[i], &row[j]);
+                if a.op == b.op
+                    && a.index == b.index
+                    && a.origin == b.origin
+                    && a.formal.unify(&b.formal).is_some()
+                {
+                    out.push(Transformation::Unify { a: a.id, b: b.id });
+                }
+            }
+        }
+    }
+    // Splits: instances blocked from moving up by a constrained instance
+    // may become movable once disjoined from it.
+    if cfg.enable_split {
+        let ids: Vec<InstId> = sched.instances().map(|i| i.id).collect();
+        for id in ids {
+            let Some((cur, pos)) = sched.find(id) else {
+                continue;
+            };
+            if cur == 0 {
+                continue;
+            }
+            let x = &sched.rows[cur][pos];
+            // Blockers anywhere above with constrained matrices.
+            for row in &sched.rows[..cur] {
+                for y in row {
+                    for (r, c) in split_candidates(x, y) {
+                        let t = Transformation::Split { id, row: r, col: c };
+                        if !out.contains(&t) {
+                            out.push(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psp_kernels::{all_kernels, by_name, KernelData};
+    use psp_sim::check_equivalence;
+
+    #[test]
+    fn vecmin_pipelines_to_ii_2() {
+        // The paper's headline result (Fig. 1c): II = 2 on both paths.
+        let kernel = by_name("vecmin").unwrap();
+        let cfg = PspConfig::default();
+        let res = pipeline_loop(&kernel.spec, &cfg).unwrap();
+        let (min, max) = res.program.ii_range().unwrap();
+        assert!(
+            max <= 2,
+            "expected II ≤ 2, got ({min},{max})\n{}\n{}",
+            res.schedule,
+            res.program
+        );
+        assert!(res.stats.wraps >= 1);
+    }
+
+    #[test]
+    fn vecmin_pipelined_is_equivalent() {
+        let kernel = by_name("vecmin").unwrap();
+        let res = pipeline_loop(&kernel.spec, &PspConfig::default()).unwrap();
+        for (seed, len) in [(1u64, 1usize), (2, 2), (3, 7), (4, 64), (5, 257)] {
+            let data = KernelData::random(seed, len);
+            let init = kernel.initial_state(&data);
+            let (_, run) =
+                check_equivalence(&kernel.spec, &res.program, &init, 10_000_000)
+                    .unwrap_or_else(|e| panic!("len {len}: {e}\n{}", res.program));
+            kernel.check(&run.state, &data).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_kernels_pipeline_correctly() {
+        let cfg = PspConfig::default();
+        for kernel in all_kernels() {
+            let res = pipeline_loop(&kernel.spec, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            for (seed, len) in [(11u64, 1usize), (12, 5), (13, 33)] {
+                let data = KernelData::random(seed, len);
+                let init = kernel.initial_state(&data);
+                let (_, run) =
+                    check_equivalence(&kernel.spec, &res.program, &init, 10_000_000)
+                        .unwrap_or_else(|e| {
+                            panic!("{} len {len}: {e}\n{}", kernel.name, res.program)
+                        });
+                kernel.check(&run.state, &data).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_or_matches_local_schedule() {
+        let cfg = PspConfig::default();
+        for kernel in all_kernels() {
+            let res = pipeline_loop(&kernel.spec, &cfg).unwrap();
+            let local =
+                psp_baselines::compile_local(&kernel.spec, &cfg.machine);
+            let data = KernelData::random(42, 128);
+            let init = kernel.initial_state(&data);
+            let (_, psp_run) =
+                check_equivalence(&kernel.spec, &res.program, &init, 10_000_000).unwrap();
+            let (_, loc_run) =
+                check_equivalence(&kernel.spec, &local, &init, 10_000_000).unwrap();
+            assert!(
+                psp_run.body_cycles <= loc_run.body_cycles + loc_run.iterations / 8,
+                "{}: psp {} vs local {}",
+                kernel.name,
+                psp_run.body_cycles,
+                loc_run.body_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let kernel = by_name("vecmin").unwrap();
+        let res = pipeline_loop(&kernel.spec, &PspConfig::default()).unwrap();
+        assert!(res.stats.moves > 0);
+        assert!(res.stats.candidates > 0);
+        assert!(res.stats.rounds > 0);
+    }
+
+    #[test]
+    fn probability_mode_runs() {
+        let kernel = by_name("skewed").unwrap();
+        let cfg = PspConfig {
+            probs: Some(vec![0.1]),
+            ..PspConfig::default()
+        };
+        let res = pipeline_loop(&kernel.spec, &cfg).unwrap();
+        let data = KernelData::random(7, 50).with_taken_fraction(0.1);
+        let init = kernel.initial_state(&data);
+        let (_, run) =
+            check_equivalence(&kernel.spec, &res.program, &init, 10_000_000).unwrap();
+        kernel.check(&run.state, &data).unwrap();
+    }
+}

@@ -1,0 +1,172 @@
+//! Memory-access extraction and alias analysis.
+//!
+//! Dependence testing between register operations is handled by
+//! [`Operation::defs`]/[`Operation::uses`]; this module covers memory. The
+//! scheduler works at *instance* level (operation + iteration index), so the
+//! alias test takes the relative iteration distance into account for affine
+//! `array[index_reg + disp]` accesses where the index register is a
+//! unit-stride induction variable.
+
+use crate::op::{OpKind, Operation};
+use crate::operand::Address;
+use crate::reg::{ArrayId, Reg};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Memory read (LOAD).
+    Read,
+    /// Memory write (STORE).
+    Write,
+}
+
+/// A memory access performed by an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Accessed array.
+    pub array: ArrayId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The address expression.
+    pub addr: Address,
+}
+
+impl MemAccess {
+    /// Whether both accesses can touch the same location, given the
+    /// relative iteration distance `iter_delta` between their instances and
+    /// the set of unit-stride induction registers (`ind` returns the stride
+    /// of a register per iteration, or `None` when unknown).
+    ///
+    /// Conservative: returns `true` unless independence can be proven.
+    pub fn may_alias(
+        &self,
+        other: &MemAccess,
+        iter_delta: i64,
+        stride_of: impl Fn(Reg) -> Option<i64>,
+    ) -> bool {
+        if self.array != other.array {
+            return false;
+        }
+        match (self.addr.index, other.addr.index) {
+            (None, None) => self.addr.disp == other.addr.disp,
+            (Some(a), Some(b)) if a == b => {
+                // Same index register. If it is a known induction variable,
+                // instance `self` at iteration i accesses index
+                // `v + stride*i + disp_a`, `other` at iteration i+delta
+                // accesses `v + stride*(i+delta) + disp_b`.
+                match stride_of(a) {
+                    Some(s) => self.addr.disp == other.addr.disp + s * iter_delta,
+                    None => true,
+                }
+            }
+            // Different index registers or mixed constant/indexed: unknown.
+            _ => true,
+        }
+    }
+
+    /// Whether at least one of the two accesses writes.
+    pub fn interferes(&self, other: &MemAccess) -> bool {
+        matches!(self.kind, AccessKind::Write) || matches!(other.kind, AccessKind::Write)
+    }
+}
+
+/// The memory access performed by `op`, if any.
+pub fn mem_access(op: &Operation) -> Option<MemAccess> {
+    match op.kind {
+        OpKind::Load { addr, .. } => Some(MemAccess {
+            array: addr.array,
+            kind: AccessKind::Read,
+            addr,
+        }),
+        OpKind::Store { addr, .. } => Some(MemAccess {
+            array: addr.array,
+            kind: AccessKind::Write,
+            addr,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::build::*;
+
+    const X: ArrayId = ArrayId(0);
+    const Y: ArrayId = ArrayId(1);
+    const K: Reg = Reg(0);
+    const J: Reg = Reg(1);
+
+    fn unit(r: Reg) -> Option<i64> {
+        (r == K).then_some(1)
+    }
+
+    #[test]
+    fn extraction() {
+        assert_eq!(mem_access(&add(Reg(2), Reg(2), Reg(3))), None);
+        let l = mem_access(&load(Reg(2), X, K)).unwrap();
+        assert_eq!(l.kind, AccessKind::Read);
+        assert_eq!(l.array, X);
+        let s = mem_access(&store(Y, K, Reg(2))).unwrap();
+        assert_eq!(s.kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn different_arrays_never_alias() {
+        let a = mem_access(&load(Reg(2), X, K)).unwrap();
+        let b = mem_access(&store(Y, K, Reg(2))).unwrap();
+        assert!(!a.may_alias(&b, 0, unit));
+    }
+
+    #[test]
+    fn same_index_same_iteration_aliases() {
+        let a = mem_access(&load(Reg(2), X, K)).unwrap();
+        let b = mem_access(&store(X, K, Reg(3))).unwrap();
+        assert!(a.may_alias(&b, 0, unit));
+    }
+
+    #[test]
+    fn unit_stride_disambiguates_across_iterations() {
+        // x[k] in iteration i vs x[k] in iteration i+1: k has advanced, so
+        // the addresses differ (0 != 0 + 1*1).
+        let a = mem_access(&load(Reg(2), X, K)).unwrap();
+        let b = mem_access(&store(X, K, Reg(3))).unwrap();
+        assert!(!a.may_alias(&b, 1, unit));
+        // But x[k+1] of this iteration vs x[k] of the next DO overlap.
+        let c = mem_access(&load_addr(Reg(2), Address::indexed(X, K).displaced(1))).unwrap();
+        assert!(c.may_alias(&b, 1, unit));
+    }
+
+    #[test]
+    fn unknown_stride_is_conservative() {
+        let a = mem_access(&load(Reg(2), X, J)).unwrap();
+        let b = mem_access(&store(X, J, Reg(3))).unwrap();
+        assert!(a.may_alias(&b, 1, unit)); // J has unknown stride
+    }
+
+    #[test]
+    fn mixed_index_kinds_are_conservative() {
+        let a = mem_access(&load_addr(Reg(2), Address::constant(X, 0))).unwrap();
+        let b = mem_access(&store(X, K, Reg(3))).unwrap();
+        assert!(a.may_alias(&b, 0, unit));
+    }
+
+    #[test]
+    fn constant_slots_compare_displacements() {
+        let a = mem_access(&load_addr(Reg(2), Address::constant(X, 0))).unwrap();
+        let b = mem_access(&store_addr(Address::constant(X, 1), Reg(3))).unwrap();
+        assert!(!a.may_alias(&b, 0, unit));
+        let c = mem_access(&store_addr(Address::constant(X, 0), Reg(3))).unwrap();
+        assert!(a.may_alias(&c, 5, unit));
+    }
+
+    #[test]
+    fn interference_requires_a_write() {
+        let a = mem_access(&load(Reg(2), X, K)).unwrap();
+        let b = mem_access(&load(Reg(3), X, K)).unwrap();
+        assert!(!a.interferes(&b)); // read-read never interferes
+        let w = mem_access(&store(X, K, Reg(3))).unwrap();
+        assert!(a.interferes(&w));
+        assert!(w.interferes(&a));
+    }
+}

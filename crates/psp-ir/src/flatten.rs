@@ -1,0 +1,225 @@
+//! Lowering a structured loop body to the PSP scheduler's starting point:
+//! a linear list of operations, each annotated with its *initial predicate
+//! matrix* (control dependence expressed as column-0 constraints).
+//!
+//! This reproduces the paper's "initial assignment" (§2): every operation
+//! outside any conditional gets the all-`b` matrix; an operation nested in
+//! the True branch of IF *i* gets element `(i, 0) = 1`, in the False branch
+//! `= 0`, composing across nesting levels.
+
+use crate::op::{build, Operation};
+use crate::spec::{Item, LoopSpec};
+use psp_predicate::{PredElem, PredicateMatrix};
+
+/// One flattened operation: the operation plus its initial (formal)
+/// predicate matrix and its source position in flattening order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatOp {
+    /// The operation.
+    pub op: Operation,
+    /// Initial predicate matrix — control dependence at column 0.
+    pub ctrl: PredicateMatrix,
+    /// Position in the flattened order (sequential-source order, True
+    /// branch before False branch).
+    pub pos: usize,
+    /// The IF id this operation *computes* (only for IF operations): the
+    /// predicate-matrix row whose outcome the operation produces.
+    pub computes_if: Option<u32>,
+}
+
+/// Flatten a structured loop body.
+///
+/// IF operations appear in the list at the point of their test, carrying
+/// the *enclosing* matrix, and record which predicate row they compute.
+/// Their branch contents follow (True branch first), each with the branch
+/// constraint added at column 0.
+pub fn flatten(spec: &LoopSpec) -> Vec<FlatOp> {
+    fn walk(items: &[Item], ctrl: &PredicateMatrix, out: &mut Vec<FlatOp>) {
+        for item in items {
+            match item {
+                Item::Op(op) => {
+                    let pos = out.len();
+                    out.push(FlatOp {
+                        op: *op,
+                        ctrl: ctrl.clone(),
+                        pos,
+                        computes_if: None,
+                    });
+                }
+                Item::If(i) => {
+                    let pos = out.len();
+                    out.push(FlatOp {
+                        op: build::if_(i.cc),
+                        ctrl: ctrl.clone(),
+                        pos,
+                        computes_if: Some(i.if_id),
+                    });
+                    let then_ctrl = ctrl.with(i.if_id, 0, PredElem::True);
+                    walk(&i.then_items, &then_ctrl, out);
+                    let else_ctrl = ctrl.with(i.if_id, 0, PredElem::False);
+                    walk(&i.else_items, &else_ctrl, out);
+                }
+                Item::Break(b) => {
+                    let pos = out.len();
+                    out.push(FlatOp {
+                        op: build::break_(b.cc),
+                        ctrl: ctrl.clone(),
+                        pos,
+                        computes_if: None,
+                    });
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(spec.op_count());
+    walk(&spec.items, &PredicateMatrix::universe(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::build::*;
+    use crate::op::{CmpOp, OpKind};
+    use crate::spec::LoopBuilder;
+    use crate::reg::{CcReg, Reg};
+
+    fn vecmin() -> LoopSpec {
+        let mut b = LoopBuilder::new("vecmin");
+        let x = b.array("x");
+        let one = b.reg();
+        let n = b.reg();
+        let k = b.reg();
+        let m = b.reg();
+        let xk = b.reg();
+        let xm = b.reg();
+        let cc0 = b.cc();
+        let cc1 = b.cc();
+        b.op(load(xk, x, k));
+        b.op(load(xm, x, m));
+        b.op(cmp(CmpOp::Lt, cc0, xk, xm));
+        b.if_else(cc0, |b| {
+            b.op(copy(m, k));
+        }, |_| {});
+        b.op(add(k, k, one));
+        b.op(cmp(CmpOp::Ge, cc1, k, n));
+        b.break_(cc1);
+        b.finish([one, n, k, m], [m])
+    }
+
+    #[test]
+    fn paper_initial_assignment() {
+        // Paper §2: all operations carry [b] except COPY which carries [1].
+        let flat = flatten(&vecmin());
+        assert_eq!(flat.len(), 8);
+        for f in &flat {
+            if matches!(f.op.kind, OpKind::Copy { .. }) {
+                assert_eq!(f.ctrl, PredicateMatrix::single(0, 0, true));
+            } else {
+                assert!(f.ctrl.is_universe(), "{:?} should be [b]", f.op);
+            }
+        }
+    }
+
+    #[test]
+    fn if_records_computed_row_and_keeps_enclosing_matrix() {
+        let flat = flatten(&vecmin());
+        let if_op = flat.iter().find(|f| f.op.is_if()).unwrap();
+        assert_eq!(if_op.computes_if, Some(0));
+        assert!(if_op.ctrl.is_universe());
+        let break_op = flat.iter().find(|f| f.op.is_break()).unwrap();
+        assert_eq!(break_op.computes_if, None);
+    }
+
+    #[test]
+    fn positions_are_sequential() {
+        let flat = flatten(&vecmin());
+        for (i, f) in flat.iter().enumerate() {
+            assert_eq!(f.pos, i);
+        }
+    }
+
+    #[test]
+    fn nested_branches_compose_constraints() {
+        let mut b = LoopBuilder::new("nested");
+        let r = b.reg();
+        let one = b.reg();
+        let cc0 = b.cc();
+        let cc1 = b.cc();
+        let ccb = b.cc();
+        b.op(cmp(CmpOp::Lt, cc0, r, 0i64));
+        b.if_else(
+            cc0,
+            |b| {
+                b.op(cmp(CmpOp::Lt, cc1, r, 10i64));
+                b.if_else(cc1, |b| {
+                    b.op(add(r, r, one));
+                }, |b| {
+                    b.op(sub(r, r, one));
+                });
+            },
+            |_| {},
+        );
+        b.op(cmp(CmpOp::Ge, ccb, r, 100i64));
+        b.break_(ccb);
+        let spec = b.finish([r, one], [r]);
+        let flat = flatten(&spec);
+        let add_op = flat
+            .iter()
+            .find(|f| matches!(f.op.kind, OpKind::Alu { op: crate::op::AluOp::Add, .. }))
+            .unwrap();
+        assert_eq!(
+            add_op.ctrl,
+            PredicateMatrix::from_entries([(0, 0, true), (1, 0, true)])
+        );
+        let sub_op = flat
+            .iter()
+            .find(|f| matches!(f.op.kind, OpKind::Alu { op: crate::op::AluOp::Sub, .. }))
+            .unwrap();
+        assert_eq!(
+            sub_op.ctrl,
+            PredicateMatrix::from_entries([(0, 0, true), (1, 0, false)])
+        );
+        // Inner IF carries only the outer constraint.
+        let inner_if = flat
+            .iter()
+            .find(|f| f.computes_if == Some(1))
+            .unwrap();
+        assert_eq!(inner_if.ctrl, PredicateMatrix::single(0, 0, true));
+        // Operations on opposite arms are disjoined.
+        assert!(add_op.ctrl.is_disjoint(&sub_op.ctrl));
+    }
+
+    #[test]
+    fn then_branch_precedes_else_branch() {
+        let mut b = LoopBuilder::new("order");
+        let r = b.reg();
+        let s = b.reg();
+        let cc = b.cc();
+        let ccb = b.cc();
+        b.op(cmp(CmpOp::Lt, cc, r, 0i64));
+        b.if_else(
+            cc,
+            |b| {
+                b.op(copy(r, 1i64));
+            },
+            |b| {
+                b.op(copy(s, 2i64));
+            },
+        );
+        b.op(cmp(CmpOp::Ge, ccb, r, 100i64));
+        b.break_(ccb);
+        let spec = b.finish([r, s], [r, s]);
+        let flat = flatten(&spec);
+        let pos_true = flat
+            .iter()
+            .position(|f| matches!(f.op.kind, OpKind::Copy { dst: Reg(0), .. }))
+            .unwrap();
+        let pos_false = flat
+            .iter()
+            .position(|f| matches!(f.op.kind, OpKind::Copy { dst: Reg(1), .. }))
+            .unwrap();
+        assert!(pos_true < pos_false);
+        let _ = CcReg(0);
+    }
+}

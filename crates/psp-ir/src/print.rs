@@ -1,0 +1,92 @@
+//! Assembly-style pretty printing, mirroring the paper's notation
+//! (`LT (CC0, (R4,R5))`, `COPY (R3, (R2))`, …), simplified to a flat
+//! three-address syntax.
+
+use crate::flatten::FlatOp;
+use crate::op::{OpKind, Operation};
+use std::fmt;
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = self.guard {
+            write!(f, "({}={})? ", g.cc, if g.on_true { 1 } else { 0 })?;
+        }
+        match self.kind {
+            OpKind::Alu { op, dst, a, b } => write!(f, "{} {dst}, {a}, {b}", op.mnemonic()),
+            OpKind::Copy { dst, src } => write!(f, "COPY {dst}, {src}"),
+            OpKind::Select {
+                dst,
+                cc,
+                on_true,
+                on_false,
+            } => write!(f, "SELECT {dst}, {cc}, {on_true}, {on_false}"),
+            OpKind::Cmp { op, dst, a, b } => write!(f, "{} {dst}, {a}, {b}", op.mnemonic()),
+            OpKind::Load { dst, addr } => write!(f, "LOAD {dst}, {addr}"),
+            OpKind::Store { src, addr } => write!(f, "STORE {addr}, {src}"),
+            OpKind::CcAnd {
+                dst,
+                a,
+                a_val,
+                b,
+                b_val,
+            } => write!(
+                f,
+                "CCAND {dst}, {a}={}, {b}={}",
+                a_val as u8, b_val as u8
+            ),
+            OpKind::If { cc } => write!(f, "IF {cc}"),
+            OpKind::Break { cc } => write!(f, "BREAK {cc}"),
+        }
+    }
+}
+
+impl fmt::Display for FlatOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.op, self.ctrl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::op::build::*;
+    use crate::op::{CmpOp, Guard, Operation};
+    use crate::reg::{ArrayId, CcReg, Reg};
+
+    #[test]
+    fn operation_rendering() {
+        assert_eq!(add(Reg(2), Reg(2), Reg(0)).to_string(), "ADD R2, R2, R0");
+        assert_eq!(
+            cmp(CmpOp::Lt, CcReg(0), Reg(4), Reg(5)).to_string(),
+            "LT CC0, R4, R5"
+        );
+        assert_eq!(copy(Reg(3), Reg(2)).to_string(), "COPY R3, R2");
+        assert_eq!(
+            load(Reg(4), ArrayId(0), Reg(2)).to_string(),
+            "LOAD R4, a0[R2]"
+        );
+        assert_eq!(
+            store(ArrayId(0), Reg(2), Reg(4)).to_string(),
+            "STORE a0[R2], R4"
+        );
+        assert_eq!(if_(CcReg(0)).to_string(), "IF CC0");
+        assert_eq!(break_(CcReg(1)).to_string(), "BREAK CC1");
+        assert_eq!(
+            add(Reg(0), Reg(1), 5i64).to_string(),
+            "ADD R0, R1, #5"
+        );
+    }
+
+    #[test]
+    fn guarded_rendering() {
+        let g = Operation {
+            guard: Some(Guard::when(CcReg(0))),
+            ..copy(Reg(3), Reg(2))
+        };
+        assert_eq!(g.to_string(), "(CC0=1)? COPY R3, R2");
+        let g = Operation {
+            guard: Some(Guard::unless(CcReg(2))),
+            ..copy(Reg(3), Reg(2))
+        };
+        assert_eq!(g.to_string(), "(CC2=0)? COPY R3, R2");
+    }
+}

@@ -1,0 +1,86 @@
+//! Register and storage identifiers.
+
+use std::fmt;
+
+/// A general-purpose (integer) register, `R0`, `R1`, …
+///
+/// The register file is unbounded: the scheduler introduces fresh registers
+/// freely when renaming, as in Moon & Ebcioglu's global scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+/// A condition-code register, `CC0`, `CC1`, … — written by compares, tested
+/// by `IF`, `BREAK`, `SELECT`, and guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CcReg(pub u32);
+
+/// A named memory array (the paper's `#x` address constants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+/// Either kind of register — the unit of def/use analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegRef {
+    /// General-purpose register.
+    Gpr(Reg),
+    /// Condition-code register.
+    Cc(CcReg),
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for CcReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CC{}", self.0)
+    }
+}
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegRef::Gpr(r) => r.fmt(f),
+            RegRef::Cc(c) => c.fmt(f),
+        }
+    }
+}
+
+impl From<Reg> for RegRef {
+    fn from(r: Reg) -> Self {
+        RegRef::Gpr(r)
+    }
+}
+
+impl From<CcReg> for RegRef {
+    fn from(c: CcReg) -> Self {
+        RegRef::Cc(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg(3).to_string(), "R3");
+        assert_eq!(CcReg(0).to_string(), "CC0");
+        assert_eq!(ArrayId(2).to_string(), "a2");
+        assert_eq!(RegRef::Gpr(Reg(1)).to_string(), "R1");
+        assert_eq!(RegRef::Cc(CcReg(7)).to_string(), "CC7");
+    }
+
+    #[test]
+    fn regref_distinguishes_kinds() {
+        assert_ne!(RegRef::from(Reg(0)), RegRef::from(CcReg(0)));
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for operation algebra: renaming and def/use reporting
+//! must agree, and opcode evaluation must match a direct i64 model.
+
+use proptest::prelude::*;
+use psp_ir::op::build;
+use psp_ir::{Address, AluOp, ArrayId, CcReg, CmpOp, Guard, OpKind, Operand, Operation, Reg, RegRef};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u32..6).prop_map(Reg)
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        arb_reg().prop_map(Operand::Reg),
+        (-100i64..100).prop_map(Operand::Imm),
+    ]
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Min),
+        Just(AluOp::Max),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Operation> {
+    let g = prop_oneof![
+        Just(None),
+        (0u32..3, any::<bool>()).prop_map(|(c, v)| Some(Guard {
+            cc: CcReg(c),
+            on_true: v
+        })),
+    ];
+    let kind = prop_oneof![
+        (arb_alu(), arb_reg(), arb_operand(), arb_operand())
+            .prop_map(|(op, dst, a, b)| OpKind::Alu { op, dst, a, b }),
+        (arb_reg(), arb_operand()).prop_map(|(dst, src)| OpKind::Copy { dst, src }),
+        (arb_cmp(), (0u32..3).prop_map(CcReg), arb_operand(), arb_operand())
+            .prop_map(|(op, dst, a, b)| OpKind::Cmp { op, dst, a, b }),
+        (arb_reg(), arb_reg(), -2i64..3).prop_map(|(dst, idx, d)| OpKind::Load {
+            dst,
+            addr: Address::indexed(ArrayId(0), idx).displaced(d),
+        }),
+        (arb_operand(), arb_reg(), -2i64..3).prop_map(|(src, idx, d)| OpKind::Store {
+            src,
+            addr: Address::indexed(ArrayId(0), idx).displaced(d),
+        }),
+        (0u32..3).prop_map(|c| OpKind::If { cc: CcReg(c) }),
+        (0u32..3).prop_map(|c| OpKind::Break { cc: CcReg(c) }),
+    ];
+    (kind, g).prop_map(|(kind, guard)| Operation { kind, guard })
+}
+
+proptest! {
+    #[test]
+    fn rename_gpr_is_consistent_with_defs_uses(op in arb_op(), from in arb_reg(), to in 10u32..14) {
+        let to = Reg(to);
+        let renamed = op.renamed_gpr(from, to);
+        // After renaming, `from` appears nowhere.
+        prop_assert!(!renamed.defs().contains(&RegRef::Gpr(from)) || from == to);
+        prop_assert!(!renamed.uses().contains(&RegRef::Gpr(from)) || from == to);
+        // Registers unrelated to the rename are untouched.
+        for r in op.defs() {
+            if r != RegRef::Gpr(from) {
+                prop_assert!(renamed.defs().contains(&r));
+            }
+        }
+        for r in op.uses() {
+            if r != RegRef::Gpr(from) {
+                prop_assert!(renamed.uses().contains(&r));
+            }
+        }
+        // Renaming to a fresh register is reversible.
+        prop_assert_eq!(renamed.renamed_gpr(to, from), op.renamed_gpr(from, from));
+    }
+
+    #[test]
+    fn uses_only_rename_preserves_destination(op in arb_op(), from in arb_reg()) {
+        let to = Reg(20);
+        let renamed = op.with_uses_renamed(from, to);
+        prop_assert_eq!(renamed.defs(), op.defs(), "destination untouched");
+        prop_assert!(
+            !renamed.uses().contains(&RegRef::Gpr(from)),
+            "no remaining use of the source"
+        );
+    }
+
+    #[test]
+    fn rename_cc_is_consistent(op in arb_op(), from in 0u32..3) {
+        let from = CcReg(from);
+        let to = CcReg(9);
+        let renamed = op.renamed_cc(from, to);
+        prop_assert!(!renamed.defs().contains(&RegRef::Cc(from)));
+        prop_assert!(!renamed.uses().contains(&RegRef::Cc(from)));
+        prop_assert_eq!(
+            renamed.defs().len(), op.defs().len()
+        );
+        prop_assert_eq!(renamed.uses().len(), op.uses().len());
+    }
+
+    #[test]
+    fn alu_eval_matches_model(op in arb_alu(), a in -1000i64..1000, b in -1000i64..1000) {
+        let model = match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Min => std::cmp::min(a, b),
+            AluOp::Max => std::cmp::max(a, b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+        };
+        prop_assert_eq!(op.eval(a, b), model);
+    }
+
+    #[test]
+    fn cmp_eval_matches_model(op in arb_cmp(), a in -50i64..50, b in -50i64..50) {
+        let model = match op {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        };
+        prop_assert_eq!(op.eval(a, b), model);
+    }
+
+    #[test]
+    fn with_dst_gpr_changes_exactly_the_destination(op in arb_op()) {
+        let to = Reg(21);
+        let changed = op.with_dst_gpr(to);
+        match op.defs().as_slice() {
+            [RegRef::Gpr(_)] => {
+                prop_assert_eq!(changed.defs(), vec![RegRef::Gpr(to)]);
+                // Uses that are not the destination register survive.
+                for u in op.uses() {
+                    if u != RegRef::Gpr(to) {
+                        prop_assert!(changed.uses().contains(&u));
+                    }
+                }
+            }
+            _ => prop_assert_eq!(changed, op),
+        }
+    }
+
+    #[test]
+    fn guards_add_their_cc_to_uses(op in arb_op()) {
+        if let Some(g) = op.guard {
+            prop_assert!(op.uses().contains(&RegRef::Cc(g.cc)));
+        }
+        let bare = Operation { guard: None, ..op };
+        let guarded = Operation {
+            guard: Some(Guard::when(CcReg(2))),
+            ..bare
+        };
+        prop_assert!(guarded.uses().contains(&RegRef::Cc(CcReg(2))));
+        prop_assert_eq!(guarded.defs(), bare.defs());
+    }
+
+    #[test]
+    fn builders_roundtrip_display(op in arb_op()) {
+        // Display never panics and always names the mnemonic.
+        let s = op.to_string();
+        prop_assert!(!s.is_empty());
+        let _ = build::if_(CcReg(0)); // keep the import exercised
+    }
+}

@@ -1,0 +1,14 @@
+use psp_baselines::{if_convert, depgraph::build_deps, listsched::list_schedule, rename::rename_inductions};
+use psp_machine::MachineConfig;
+fn main() {
+    let kernel = psp_kernels::by_name("vecmin").unwrap();
+    let mut ic = if_convert(&kernel.spec);
+    rename_inductions(&mut ic.ops, &mut ic.spec);
+    for (i,(o,c)) in ic.ops.iter().enumerate() { println!("{i}: {o}  {c}"); }
+    let m = MachineConfig::paper_default();
+    let deps = build_deps(&ic.ops, &ic.spec.live_out, &m);
+    for (i,s) in deps.succs.iter().enumerate() { println!("succ {i}: {s:?}"); }
+    println!("heights {:?}", deps.heights());
+    let cycles = list_schedule(&ic.ops, &deps, &m);
+    for (t,c) in cycles.iter().enumerate() { println!("C{t}: {}", c.iter().map(|o|o.to_string()).collect::<Vec<_>>().join("; ")); }
+}

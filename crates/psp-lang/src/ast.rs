@@ -1,0 +1,115 @@
+//! Abstract syntax tree.
+
+use psp_ir::{AluOp, CmpOp};
+
+/// Binary operator spelling → ALU opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinOp(pub AluOp);
+
+impl BinOp {
+    /// Parse an operator spelling (not the `FromStr` trait: this returns
+    /// `Option` and accepts identifier operators like `min`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Self> {
+        Some(BinOp(match s {
+            "+" => AluOp::Add,
+            "-" => AluOp::Sub,
+            "*" => AluOp::Mul,
+            "&" => AluOp::And,
+            "|" => AluOp::Or,
+            "^" => AluOp::Xor,
+            "<<" => AluOp::Shl,
+            ">>" => AluOp::Shr,
+            "min" => AluOp::Min,
+            "max" => AluOp::Max,
+            _ => return None,
+        }))
+    }
+}
+
+/// Comparison spelling → compare opcode.
+pub fn cmp_from_str(s: &str) -> Option<CmpOp> {
+    Some(match s {
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        "==" => CmpOp::Eq,
+        "!=" => CmpOp::Ne,
+        _ => return None,
+    })
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Scalar variable.
+    Var(String),
+    /// Array element `array[index]`.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var = expr;`
+    Assign(String, Expr),
+    /// `array[index] = expr;`
+    Store(String, Expr, Expr),
+    /// `if (a cmp b) { … } else { … }`
+    If {
+        /// Comparison opcode.
+        cmp: psp_ir::CmpOp,
+        /// Left operand.
+        lhs: Expr,
+        /// Right operand.
+        rhs: Expr,
+        /// Taken branch.
+        then_body: Vec<Stmt>,
+        /// Not-taken branch.
+        else_body: Vec<Stmt>,
+    },
+    /// `break if (a cmp b);`
+    BreakIf {
+        /// Comparison opcode.
+        cmp: psp_ir::CmpOp,
+        /// Left operand.
+        lhs: Expr,
+        /// Right operand.
+        rhs: Expr,
+    },
+}
+
+/// A parsed kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// Live-in scalar parameters.
+    pub scalars: Vec<String>,
+    /// Array parameters.
+    pub arrays: Vec<String>,
+    /// Live-out scalars.
+    pub outs: Vec<String>,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_table() {
+        assert_eq!(BinOp::from_str("+"), Some(BinOp(AluOp::Add)));
+        assert_eq!(BinOp::from_str(">>"), Some(BinOp(AluOp::Shr)));
+        assert_eq!(BinOp::from_str("min"), Some(BinOp(AluOp::Min)));
+        assert_eq!(BinOp::from_str("%"), None);
+        assert_eq!(cmp_from_str("<="), Some(CmpOp::Le));
+        assert_eq!(cmp_from_str("=>"), None);
+    }
+}

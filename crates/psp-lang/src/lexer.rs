@@ -1,0 +1,242 @@
+//! Tokenizer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier (register, array, or kernel name, or keyword).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Assign,
+    /// `->`.
+    Arrow,
+    /// Binary operator or comparison spelling (`+ - * & | ^ << >> < <= > >= == !=`).
+    Op(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Assign => write!(f, "="),
+            Token::Arrow => write!(f, "->"),
+            Token::Op(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Tokenization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// The character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character {:?} at byte {}", self.ch, self.at)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src`. Comments run from `//` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '+' | '*' | '&' | '|' | '^' => {
+                out.push(Token::Op(c.to_string()));
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Token::Arrow);
+                    i += 2;
+                } else if bytes
+                    .get(i + 1)
+                    .map(|d| d.is_ascii_digit())
+                    .unwrap_or(false)
+                    && matches!(
+                        out.last(),
+                        None | Some(
+                            Token::Op(_)
+                                | Token::Assign
+                                | Token::LParen
+                                | Token::LBracket
+                                | Token::Comma
+                        )
+                    )
+                {
+                    // Negative literal in operand position.
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    let text: String = bytes[start..j].iter().collect();
+                    out.push(Token::Int(-text.parse::<i64>().unwrap()));
+                    i = j;
+                } else {
+                    out.push(Token::Op("-".into()));
+                    i += 1;
+                }
+            }
+            '<' | '>' => {
+                let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+                if two == "<=" || two == ">=" || two == "<<" || two == ">>" {
+                    out.push(Token::Op(two));
+                    i += 2;
+                } else {
+                    out.push(Token::Op(c.to_string()));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Op("==".into()));
+                    i += 2;
+                } else {
+                    out.push(Token::Assign);
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Token::Op("!=".into()));
+                i += 2;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.push(Token::Int(text.parse().unwrap()));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            _ => return Err(LexError { at: i, ch: c }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_vecmin_kernel() {
+        let toks = lex("kernel v(n; x[]) -> m { m = x[k]; break if (k >= n); }").unwrap();
+        assert!(toks.contains(&Token::Ident("kernel".into())));
+        assert!(toks.contains(&Token::Arrow));
+        assert!(toks.contains(&Token::Op(">=".into())));
+        assert!(toks.contains(&Token::LBracket));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("a = 1; // trailing words $!\nb = 2;").unwrap();
+        assert_eq!(toks.len(), 8);
+    }
+
+    #[test]
+    fn negative_literals_in_operand_position() {
+        let toks = lex("a = -5;").unwrap();
+        assert!(toks.contains(&Token::Int(-5)));
+        // Subtraction keeps its operator meaning.
+        let toks = lex("a = b - 5;").unwrap();
+        assert!(toks.contains(&Token::Op("-".into())));
+        assert!(toks.contains(&Token::Int(5)));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        for op in ["<=", ">=", "==", "!=", "<<", ">>"] {
+            let toks = lex(&format!("a {op} b")).unwrap();
+            assert!(toks.contains(&Token::Op(op.into())), "{op}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("a = #;").unwrap_err();
+        assert_eq!(err.ch, '#');
+    }
+}

@@ -1,0 +1,145 @@
+//! Graphviz (DOT) export of compiled loops — render the reconstructed
+//! control-flow graph the way the paper draws Figure 3.
+
+use crate::vliw::{VliwLoop, VliwTerm};
+use std::fmt::Write;
+
+/// Render the loop as a DOT digraph. Pipe through `dot -Tsvg` to visualize:
+/// blocks are boxes labeled with their predicate matrix and cycles,
+/// back edges are drawn bold, the entry dispatch dashed, and the preloop
+/// as a separate note.
+pub fn to_dot(prog: &VliwLoop) -> String {
+    let mut out = String::new();
+    let esc = |s: String| s.replace('\\', "\\\\").replace('"', "\\\"");
+    writeln!(out, "digraph \"{}\" {{", esc(prog.name.clone())).unwrap();
+    writeln!(out, "  rankdir=TB; node [shape=box, fontname=\"monospace\"];").unwrap();
+
+    if !prog.prologue.is_empty() {
+        let mut label = String::from("preloop\\l");
+        for (i, c) in prog.prologue.iter().enumerate() {
+            let ops: Vec<String> = c.iter().map(|o| o.to_string()).collect();
+            label.push_str(&esc(format!("P{i}: {}", ops.join("; "))));
+            label.push_str("\\l");
+        }
+        writeln!(out, "  pre [label=\"{label}\", style=dashed];").unwrap();
+        writeln!(out, "  pre -> b{} [style=dashed];", prog.entry).unwrap();
+    }
+
+    for b in &prog.blocks {
+        let mut label = esc(format!("B{} {}", b.id, b.matrix));
+        label.push_str("\\l");
+        for (i, c) in b.cycles.iter().enumerate() {
+            let ops: Vec<String> = c.iter().map(|o| o.to_string()).collect();
+            label.push_str(&esc(format!("C{i}: {}", ops.join("; "))));
+            label.push_str("\\l");
+        }
+        let style = if b.cycles.is_empty() {
+            ", style=dashed"
+        } else {
+            ""
+        };
+        writeln!(out, "  b{} [label=\"{label}\"{style}];", b.id).unwrap();
+        match b.term {
+            VliwTerm::Jump(s) => {
+                writeln!(
+                    out,
+                    "  b{} -> b{}{};",
+                    b.id,
+                    s.block,
+                    if s.back_edge { " [style=bold]" } else { "" }
+                )
+                .unwrap();
+            }
+            VliwTerm::Branch {
+                cc,
+                on_true,
+                on_false,
+            } => {
+                for (succ, lbl) in [(on_true, format!("{cc}=1")), (on_false, format!("{cc}=0"))] {
+                    writeln!(
+                        out,
+                        "  b{} -> b{} [label=\"{}\"{}];",
+                        b.id,
+                        succ.block,
+                        esc(lbl),
+                        if succ.back_edge { ", style=bold" } else { "" }
+                    )
+                    .unwrap();
+                }
+            }
+            VliwTerm::Exit => {
+                writeln!(out, "  b{} -> exit;", b.id).unwrap();
+            }
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vliw::{Succ, VliwBlock};
+    use crate::MachineConfig;
+    use psp_ir::op::build::*;
+    use psp_ir::{CcReg, Reg};
+    use psp_predicate::PredicateMatrix;
+
+    fn sample() -> VliwLoop {
+        let b0 = VliwBlock {
+            id: 0,
+            matrix: PredicateMatrix::single(0, 0, false),
+            cycles: vec![vec![add(Reg(1), Reg(1), 1i64), if_(CcReg(0))]],
+            term: VliwTerm::Branch {
+                cc: CcReg(0),
+                on_true: Succ::back(1),
+                on_false: Succ::back(0),
+            },
+        };
+        let b1 = VliwBlock {
+            id: 1,
+            matrix: PredicateMatrix::single(0, 0, true),
+            cycles: vec![vec![copy(Reg(2), Reg(1)), if_(CcReg(0))]],
+            term: VliwTerm::Branch {
+                cc: CcReg(0),
+                on_true: Succ::back(1),
+                on_false: Succ::back(0),
+            },
+        };
+        VliwLoop {
+            name: "dot-sample \"quoted\"".into(),
+            prologue: vec![vec![lt(CcReg(0), Reg(1), Reg(0))]],
+            blocks: vec![b0, b1],
+            entry: 0,
+            epilogue: vec![],
+        }
+    }
+
+    #[test]
+    fn dot_contains_blocks_edges_and_preloop() {
+        let prog = sample();
+        prog.validate(&MachineConfig::paper_default()).unwrap();
+        let dot = to_dot(&prog);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("b0 ["));
+        assert!(dot.contains("b1 ["));
+        assert!(dot.contains("pre ["));
+        assert!(dot.contains("style=bold"), "back edges bold");
+        assert!(dot.contains("CC0=1"));
+        assert!(dot.contains("\\\"quoted\\\""), "quotes escaped");
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        // The `\l` left-justified line separators must survive escaping as
+        // a single backslash, or Graphviz prints them literally.
+        assert!(dot.contains("\\l"));
+        assert!(!dot.contains("\\\\l"), "line separators double-escaped");
+    }
+
+    #[test]
+    fn exit_terminator_renders() {
+        let mut prog = sample();
+        prog.blocks[1].term = VliwTerm::Exit;
+        let dot = to_dot(&prog);
+        assert!(dot.contains("b1 -> exit;"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-cycle resource accounting.
+
+use crate::config::MachineConfig;
+use psp_ir::{Operation, ResClass};
+
+/// Counts of operations per resource class in one cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceUse {
+    /// ALU/compare/move operations.
+    pub alu: u32,
+    /// Memory operations.
+    pub mem: u32,
+    /// Branch (IF/BREAK) operations.
+    pub branch: u32,
+}
+
+impl ResourceUse {
+    /// No resources used.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Account one operation.
+    pub fn add(&mut self, op: &Operation) {
+        match op.res_class() {
+            ResClass::Alu => self.alu += 1,
+            ResClass::Mem => self.mem += 1,
+            ResClass::Branch => self.branch += 1,
+        }
+    }
+
+    /// Sum of two usages.
+    pub fn plus(self, other: Self) -> Self {
+        Self {
+            alu: self.alu + other.alu,
+            mem: self.mem + other.mem,
+            branch: self.branch + other.branch,
+        }
+    }
+
+    /// Whether the usage fits within the machine's per-cycle limits.
+    pub fn fits(&self, m: &MachineConfig) -> bool {
+        self.alu <= m.n_alu && self.mem <= m.n_mem && self.branch <= m.n_branch
+    }
+
+    /// Whether one more operation of the given class would still fit.
+    pub fn can_accept(&self, class: ResClass, m: &MachineConfig) -> bool {
+        match class {
+            ResClass::Alu => self.alu < m.n_alu,
+            ResClass::Mem => self.mem < m.n_mem,
+            ResClass::Branch => self.branch < m.n_branch,
+        }
+    }
+
+    /// Total operation count.
+    pub fn total(&self) -> u32 {
+        self.alu + self.mem + self.branch
+    }
+}
+
+/// Resource usage of a whole cycle.
+pub fn cycle_use(ops: &[Operation]) -> ResourceUse {
+    let mut u = ResourceUse::empty();
+    for op in ops {
+        u.add(op);
+    }
+    u
+}
+
+/// Whether the cycle fits within the machine's limits.
+pub fn cycle_fits(ops: &[Operation], m: &MachineConfig) -> bool {
+    cycle_use(ops).fits(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psp_ir::op::build::*;
+    use psp_ir::{ArrayId, CcReg, Reg};
+
+    #[test]
+    fn counting_by_class() {
+        let ops = vec![
+            add(Reg(0), Reg(1), Reg(2)),
+            load(Reg(3), ArrayId(0), Reg(1)),
+            load(Reg(4), ArrayId(0), Reg(2)),
+            if_(CcReg(0)),
+        ];
+        let u = cycle_use(&ops);
+        assert_eq!(
+            u,
+            ResourceUse {
+                alu: 1,
+                mem: 2,
+                branch: 1
+            }
+        );
+        assert_eq!(u.total(), 4);
+    }
+
+    #[test]
+    fn fits_respects_limits() {
+        let ops = vec![
+            load(Reg(3), ArrayId(0), Reg(1)),
+            load(Reg(4), ArrayId(0), Reg(2)),
+        ];
+        assert!(cycle_fits(&ops, &MachineConfig::paper_default()));
+        assert!(!cycle_fits(&ops, &MachineConfig::narrow(4, 1, 1)));
+    }
+
+    #[test]
+    fn can_accept_at_boundary() {
+        let m = MachineConfig::narrow(1, 1, 1);
+        let mut u = ResourceUse::empty();
+        assert!(u.can_accept(psp_ir::ResClass::Alu, &m));
+        u.add(&add(Reg(0), Reg(1), Reg(2)));
+        assert!(!u.can_accept(psp_ir::ResClass::Alu, &m));
+        assert!(u.can_accept(psp_ir::ResClass::Mem, &m));
+    }
+
+    #[test]
+    fn plus_sums_fields() {
+        let a = ResourceUse {
+            alu: 1,
+            mem: 2,
+            branch: 0,
+        };
+        let b = ResourceUse {
+            alu: 3,
+            mem: 0,
+            branch: 1,
+        };
+        assert_eq!(
+            a.plus(b),
+            ResourceUse {
+                alu: 4,
+                mem: 2,
+                branch: 1
+            }
+        );
+    }
+}

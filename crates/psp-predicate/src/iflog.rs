@@ -1,0 +1,232 @@
+//! IFLog — the auxiliary structure linking predicates to the IF instances
+//! that compute them.
+//!
+//! During scheduling, an IF operation instance with original row `r` and
+//! operation index `i` computes the predicate `p(r, i)` (paper §2: the
+//! instance `IF (CC0) (+1) [0]` computes `p(+1)`). Because the schedule
+//! repeats every transformed iteration, the *same* instance also computed
+//! `p(r, i - k)` during the transformed iteration `k` steps earlier. The
+//! IFLog records where every IF instance sits in the schedule — including
+//! its own (possibly constrained) predicate matrix, since IFs may execute
+//! conditionally — so that the scheduler and code generator can decide, for
+//! any predicate an operation is control-dependent on, whether its outcome
+//! is already available (and hence whether the operation is speculative).
+
+use crate::matrix::PredicateMatrix;
+
+/// One scheduled IF instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IfLogEntry {
+    /// Row of the IF operation in the original loop body (predicate row).
+    pub if_row: u32,
+    /// Operation index of the instance (iteration offset; the instance
+    /// computes predicate column `index`).
+    pub index: i32,
+    /// Schedule cycle (row) the instance occupies.
+    pub cycle: usize,
+    /// Formal predicate matrix of the IF instance itself — the paths on
+    /// which it executes (IFs are never speculative per paper §2, so its
+    /// formal and actual paths coincide).
+    pub matrix: PredicateMatrix,
+}
+
+/// Where (relative to a consumer in the current transformed iteration) a
+/// predicate's outcome is produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredAvailability {
+    /// Computed `delta ≥ 1` transformed iterations ago: the outcome is
+    /// available on loop-body entry.
+    PreviousIteration { delta: u32, entry: IfLogEntry },
+    /// Computed in the current transformed iteration at `cycle`.
+    SameIteration { cycle: usize, entry: IfLogEntry },
+    /// Will only be computed `delta ≥ 1` transformed iterations later: any
+    /// consumer in the current iteration is necessarily speculative.
+    FutureIteration { delta: u32, entry: IfLogEntry },
+    /// No IF instance in the schedule computes this predicate row.
+    NotComputed,
+}
+
+/// Log of all scheduled IF instances.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IfLog {
+    entries: Vec<IfLogEntry>,
+}
+
+impl IfLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a scheduled IF instance.
+    pub fn record(&mut self, entry: IfLogEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Remove the record of an instance (e.g. after a transformation moved
+    /// it); identified by `(if_row, index)`.
+    pub fn remove(&mut self, if_row: u32, index: i32) {
+        self.entries
+            .retain(|e| !(e.if_row == if_row && e.index == index));
+    }
+
+    /// Clear the log (before re-tracing a schedule).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// All recorded instances.
+    pub fn entries(&self) -> &[IfLogEntry] {
+        &self.entries
+    }
+
+    /// Instances of IF row `if_row`.
+    pub fn instances_of(&self, if_row: u32) -> impl Iterator<Item = &IfLogEntry> {
+        self.entries.iter().filter(move |e| e.if_row == if_row)
+    }
+
+    /// How the outcome of predicate `(row, col)` — as referenced by an
+    /// operation in the current transformed iteration — becomes available.
+    ///
+    /// In steady state the schedule repeats each transformed iteration, so
+    /// an instance with index `i` computes column `col` during the
+    /// transformed iteration `col - i` (0 = current, negative = earlier).
+    /// When several instances of the row exist (after splits), the one
+    /// computing the predicate *earliest* is reported; conditional execution
+    /// of the IF itself is visible through `entry.matrix`.
+    pub fn availability(&self, row: u32, col: i32) -> PredAvailability {
+        let mut best: Option<PredAvailability> = None;
+        for e in self.instances_of(row) {
+            let delta = col - e.index; // transformed iteration producing col
+            let cand = if delta < 0 {
+                PredAvailability::PreviousIteration {
+                    delta: (-delta) as u32,
+                    entry: e.clone(),
+                }
+            } else if delta == 0 {
+                PredAvailability::SameIteration {
+                    cycle: e.cycle,
+                    entry: e.clone(),
+                }
+            } else {
+                PredAvailability::FutureIteration {
+                    delta: delta as u32,
+                    entry: e.clone(),
+                }
+            };
+            best = Some(match best.take() {
+                None => cand,
+                Some(b) => earlier(b, cand),
+            });
+        }
+        best.unwrap_or(PredAvailability::NotComputed)
+    }
+
+    /// Whether predicate `(row, col)`'s outcome is known before `cycle` of
+    /// the current transformed iteration (on the paths where its IF runs).
+    pub fn available_before(&self, row: u32, col: i32, cycle: usize) -> bool {
+        match self.availability(row, col) {
+            PredAvailability::PreviousIteration { .. } => true,
+            PredAvailability::SameIteration { cycle: c, .. } => c < cycle,
+            _ => false,
+        }
+    }
+}
+
+/// Pick the availability that resolves earlier in time.
+fn earlier(a: PredAvailability, b: PredAvailability) -> PredAvailability {
+    use PredAvailability as P;
+    let rank = |x: &P| -> (i64, i64) {
+        match x {
+            P::PreviousIteration { delta, entry } => (-(*delta as i64), entry.cycle as i64),
+            P::SameIteration { cycle, .. } => (0, *cycle as i64),
+            P::FutureIteration { delta, entry } => (*delta as i64, entry.cycle as i64),
+            P::NotComputed => (i64::MAX, i64::MAX),
+        }
+    };
+    if rank(&a) <= rank(&b) {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(if_row: u32, index: i32, cycle: usize) -> IfLogEntry {
+        IfLogEntry {
+            if_row,
+            index,
+            cycle,
+            matrix: PredicateMatrix::universe(),
+        }
+    }
+
+    #[test]
+    fn empty_log_reports_not_computed() {
+        let log = IfLog::new();
+        assert_eq!(log.availability(0, 0), PredAvailability::NotComputed);
+        assert!(!log.available_before(0, 0, 10));
+    }
+
+    #[test]
+    fn paper_fig2_availability() {
+        // Fig. 2: the only IF instance is IF(CC0) (1)[b] at cycle 7 — it
+        // computes p(+1). Column 0 was therefore computed one transformed
+        // iteration ago; column 1 is computed this iteration at cycle 7.
+        let mut log = IfLog::new();
+        log.record(entry(0, 1, 7));
+        match log.availability(0, 0) {
+            PredAvailability::PreviousIteration { delta, .. } => assert_eq!(delta, 1),
+            other => panic!("expected PreviousIteration, got {other:?}"),
+        }
+        match log.availability(0, 1) {
+            PredAvailability::SameIteration { cycle, .. } => assert_eq!(cycle, 7),
+            other => panic!("expected SameIteration, got {other:?}"),
+        }
+        match log.availability(0, 2) {
+            PredAvailability::FutureIteration { delta, .. } => assert_eq!(delta, 1),
+            other => panic!("expected FutureIteration, got {other:?}"),
+        }
+        // A consumer at cycle 1 constrained on p(0): outcome available.
+        assert!(log.available_before(0, 0, 1));
+        // Constrained on p(1): not available before cycle 7 => speculative.
+        assert!(!log.available_before(0, 1, 7));
+        assert!(log.available_before(0, 1, 8));
+    }
+
+    #[test]
+    fn earliest_instance_wins() {
+        let mut log = IfLog::new();
+        log.record(entry(0, 0, 5)); // computes col 0 this iteration
+        log.record(entry(0, 1, 2)); // computes col 0 one iteration ago
+        match log.availability(0, 0) {
+            PredAvailability::PreviousIteration { delta, .. } => assert_eq!(delta, 1),
+            other => panic!("expected PreviousIteration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut log = IfLog::new();
+        log.record(entry(0, 0, 3));
+        log.record(entry(1, 0, 4));
+        log.remove(0, 0);
+        assert_eq!(log.entries().len(), 1);
+        assert_eq!(log.availability(0, 0), PredAvailability::NotComputed);
+        log.clear();
+        assert!(log.entries().is_empty());
+    }
+
+    #[test]
+    fn instances_of_filters_by_row() {
+        let mut log = IfLog::new();
+        log.record(entry(0, 0, 1));
+        log.record(entry(1, 0, 2));
+        log.record(entry(0, 1, 3));
+        assert_eq!(log.instances_of(0).count(), 2);
+        assert_eq!(log.instances_of(1).count(), 1);
+    }
+}

@@ -1,0 +1,484 @@
+//! Sparse predicate matrices.
+//!
+//! A [`PredicateMatrix`] stores only its constrained elements; every other
+//! element is implicitly `b`. Rows identify IF operations of the original
+//! loop body (0-based), columns identify iterations relative to the current
+//! transformed iteration (`0` = current, negative = earlier, positive =
+//! later). A matrix denotes the set of all execution paths whose IF outcomes
+//! agree with its constrained elements.
+
+use crate::elem::PredElem;
+use crate::outcome::OutcomeMap;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Position of one predicate: `(IF row, iteration column)`.
+pub type PredKey = (u32, i32);
+
+/// A sparse, conceptually infinite matrix of [`PredElem`]s.
+///
+/// The empty matrix denotes the universe (all paths admitted). Matrices are
+/// ordered and hashable so they can key maps and be deduplicated in
+/// [`crate::PathSet`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PredicateMatrix {
+    /// Constrained elements only; value is the IF outcome (`true` = `1`).
+    entries: BTreeMap<PredKey, bool>,
+}
+
+impl PredicateMatrix {
+    /// The unconstrained matrix `[b b … b]` (all paths).
+    #[inline]
+    pub fn universe() -> Self {
+        Self::default()
+    }
+
+    /// Matrix with a single constrained element.
+    pub fn single(row: u32, col: i32, outcome: bool) -> Self {
+        let mut m = Self::universe();
+        m.set(row, col, PredElem::from_bool(outcome));
+        m
+    }
+
+    /// Build from an explicit list of constrained elements.
+    ///
+    /// Later duplicates of the same key overwrite earlier ones.
+    pub fn from_entries<I: IntoIterator<Item = (u32, i32, bool)>>(it: I) -> Self {
+        let mut m = Self::universe();
+        for (row, col, v) in it {
+            m.set(row, col, PredElem::from_bool(v));
+        }
+        m
+    }
+
+    /// The element at `(row, col)` (default `b`).
+    #[inline]
+    pub fn get(&self, row: u32, col: i32) -> PredElem {
+        match self.entries.get(&(row, col)) {
+            Some(&v) => PredElem::from_bool(v),
+            None => PredElem::Both,
+        }
+    }
+
+    /// Set the element at `(row, col)`; setting `b` removes the entry.
+    pub fn set(&mut self, row: u32, col: i32, e: PredElem) {
+        match e.as_bool() {
+            Some(v) => {
+                self.entries.insert((row, col), v);
+            }
+            None => {
+                self.entries.remove(&(row, col));
+            }
+        }
+    }
+
+    /// Copy of `self` with `(row, col)` set to `e`.
+    pub fn with(&self, row: u32, col: i32, e: PredElem) -> Self {
+        let mut m = self.clone();
+        m.set(row, col, e);
+        m
+    }
+
+    /// Number of constrained elements.
+    #[inline]
+    pub fn constrained_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no element is constrained (the universe).
+    #[inline]
+    pub fn is_universe(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over the constrained elements in `(row, col)` order.
+    pub fn constrained(&self) -> impl Iterator<Item = (u32, i32, bool)> + '_ {
+        self.entries.iter().map(|(&(r, c), &v)| (r, c, v))
+    }
+
+    /// Keys of the constrained elements.
+    pub fn keys(&self) -> impl Iterator<Item = PredKey> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Intersection of the two path sets.
+    ///
+    /// `None` means the intersection is empty, i.e. the matrices are
+    /// *disjoined* (the paper's term): they carry complementary elements at
+    /// some position.
+    pub fn conjoin(&self, other: &Self) -> Option<Self> {
+        // Iterate over the smaller entry set for the conflict scan.
+        let (small, large) = if self.entries.len() <= other.entries.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        for (&(r, c), &v) in &small.entries {
+            if let Some(&w) = large.entries.get(&(r, c)) {
+                if v != w {
+                    return None;
+                }
+            }
+        }
+        let mut out = large.clone();
+        for (&k, &v) in &small.entries {
+            out.entries.insert(k, v);
+        }
+        Some(out)
+    }
+
+    /// Whether the path sets are disjoint (complementary at some position).
+    ///
+    /// Operations with disjoined matrices lie on different formal paths and
+    /// are never tested for data or control dependence.
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        let (small, large) = if self.entries.len() <= other.entries.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .entries
+            .iter()
+            .any(|(&k, &v)| matches!(large.entries.get(&k), Some(&w) if w != v))
+    }
+
+    /// Superset relation: every path admitted by `other` is admitted by
+    /// `self` (i.e. `self`'s constraints are a subset of `other`'s).
+    pub fn subsumes(&self, other: &Self) -> bool {
+        if self.entries.len() > other.entries.len() {
+            return false;
+        }
+        self.entries
+            .iter()
+            .all(|(&k, &v)| other.entries.get(&k) == Some(&v))
+    }
+
+    /// Shift all columns by `delta` (positive = later iterations).
+    ///
+    /// Applied when an operation instance crosses the loop boundary: moving
+    /// into the *previous* transformed iteration increments its index and
+    /// shifts its matrix one place **right** (`delta = +1`), preserving
+    /// relative references.
+    pub fn shifted(&self, delta: i32) -> Self {
+        if delta == 0 {
+            return self.clone();
+        }
+        let entries = self
+            .entries
+            .iter()
+            .map(|(&(r, c), &v)| ((r, c + delta), v))
+            .collect();
+        Self { entries }
+    }
+
+    /// The *split* of this matrix at a `b` element: two clones with the
+    /// element set to `0` and `1` respectively.
+    ///
+    /// Returns `None` when the element is already constrained.
+    pub fn split(&self, row: u32, col: i32) -> Option<(Self, Self)> {
+        if self.get(row, col).is_constrained() {
+            return None;
+        }
+        Some((
+            self.with(row, col, PredElem::False),
+            self.with(row, col, PredElem::True),
+        ))
+    }
+
+    /// Inverse of [`split`](Self::split): when the two matrices differ in
+    /// exactly one element and that element is complementary, return the
+    /// merged matrix with the element reset to `b`.
+    pub fn unify(&self, other: &Self) -> Option<Self> {
+        // They must share every entry except exactly one complementary pair.
+        if self.entries.len() != other.entries.len() {
+            return None;
+        }
+        let mut diff: Option<PredKey> = None;
+        for (&k, &v) in &self.entries {
+            match other.entries.get(&k) {
+                Some(&w) if w == v => {}
+                Some(_) => {
+                    if diff.replace(k).is_some() {
+                        return None; // more than one differing position
+                    }
+                }
+                None => return None, // keys differ
+            }
+        }
+        let (r, c) = diff?;
+        Some(self.with(r, c, PredElem::Both))
+    }
+
+    /// Whether the concrete outcome assignment lies in this path set.
+    pub fn admits(&self, outcomes: &OutcomeMap) -> bool {
+        self.entries
+            .iter()
+            .all(|(&(r, c), &v)| outcomes.get(r, c) == Some(v))
+    }
+
+    /// Drop constraints outside the column window `[lo, hi]` (inclusive),
+    /// widening the path set.
+    pub fn widened_to_window(&self, lo: i32, hi: i32) -> Self {
+        let entries = self
+            .entries
+            .iter()
+            .filter(|(&(_, c), _)| (lo..=hi).contains(&c))
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        Self { entries }
+    }
+
+    /// Smallest and largest constrained column, if any element is
+    /// constrained.
+    pub fn col_span(&self) -> Option<(i32, i32)> {
+        let mut lo = i32::MAX;
+        let mut hi = i32::MIN;
+        for &(_, c) in self.entries.keys() {
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        if lo <= hi {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// Largest constrained row index, if any.
+    pub fn max_row(&self) -> Option<u32> {
+        self.entries.keys().map(|&(r, _)| r).max()
+    }
+
+    /// Render one row over the column window `[lo, hi]`, underlining column
+    /// 0 per the paper's notation (here marked with surrounding `_`).
+    fn fmt_row(&self, row: u32, lo: i32, hi: i32, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for c in lo..=hi {
+            if c > lo {
+                write!(f, " ")?;
+            }
+            let sym = self.get(row, c).symbol();
+            if c == 0 {
+                write!(f, "_{sym}_")?;
+            } else {
+                write!(f, "{sym}")?;
+            }
+        }
+        write!(f, "]")
+    }
+
+    /// Multi-row display over a chosen window and row count.
+    pub fn display(&self, rows: u32, lo: i32, hi: i32) -> MatrixDisplay<'_> {
+        MatrixDisplay {
+            m: self,
+            rows,
+            lo,
+            hi,
+        }
+    }
+}
+
+/// Display adapter produced by [`PredicateMatrix::display`].
+pub struct MatrixDisplay<'a> {
+    m: &'a PredicateMatrix,
+    rows: u32,
+    lo: i32,
+    hi: i32,
+}
+
+impl fmt::Display for MatrixDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows.max(1) {
+            if r > 0 {
+                write!(f, " ")?;
+            }
+            self.m.fmt_row(r, self.lo, self.hi, f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PredicateMatrix {
+    /// Default display: rows up to the max constrained row, columns spanning
+    /// the constrained window (always including column 0).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows = self.max_row().map(|r| r + 1).unwrap_or(1);
+        let (lo, hi) = self
+            .col_span()
+            .map(|(a, b)| (a.min(0), b.max(0)))
+            .unwrap_or((0, 0));
+        self.display(rows, lo, hi).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(entries: &[(u32, i32, bool)]) -> PredicateMatrix {
+        PredicateMatrix::from_entries(entries.iter().copied())
+    }
+
+    #[test]
+    fn universe_admits_everything_and_is_empty() {
+        let u = PredicateMatrix::universe();
+        assert!(u.is_universe());
+        assert_eq!(u.constrained_len(), 0);
+        assert_eq!(u.get(3, -7), PredElem::Both);
+    }
+
+    #[test]
+    fn set_both_removes_entry() {
+        let mut a = PredicateMatrix::single(0, 0, true);
+        assert_eq!(a.constrained_len(), 1);
+        a.set(0, 0, PredElem::Both);
+        assert!(a.is_universe());
+    }
+
+    #[test]
+    fn conjoin_with_universe_is_identity() {
+        let a = m(&[(0, 0, true), (1, 1, false)]);
+        let u = PredicateMatrix::universe();
+        assert_eq!(a.conjoin(&u), Some(a.clone()));
+        assert_eq!(u.conjoin(&a), Some(a));
+    }
+
+    #[test]
+    fn conjoin_merges_disjoint_supports() {
+        let a = m(&[(0, 0, true)]);
+        let b = m(&[(1, -1, false)]);
+        let ab = a.conjoin(&b).unwrap();
+        assert_eq!(ab, m(&[(0, 0, true), (1, -1, false)]));
+    }
+
+    #[test]
+    fn conjoin_conflict_is_none() {
+        let a = m(&[(0, 0, true)]);
+        let b = m(&[(0, 0, false)]);
+        assert_eq!(a.conjoin(&b), None);
+        assert!(a.is_disjoint(&b));
+        assert!(b.is_disjoint(&a));
+    }
+
+    #[test]
+    fn disjointness_requires_complementary_entry() {
+        let a = m(&[(0, 0, true), (1, 0, false)]);
+        let b = m(&[(0, 0, true)]);
+        assert!(!a.is_disjoint(&b));
+        let c = m(&[(1, 0, true)]);
+        assert!(a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn paper_example_disjoined_matrices() {
+        // [1 b] and [0 1]: complementary at (0, col 0) => disjoined.
+        let m1 = m(&[(0, 0, true)]);
+        let m2 = m(&[(0, 0, false), (0, 1, true)]);
+        assert!(m1.is_disjoint(&m2));
+    }
+
+    #[test]
+    fn subsumes_is_superset_of_paths() {
+        let wide = m(&[(0, 0, true)]);
+        let narrow = m(&[(0, 0, true), (1, 0, false)]);
+        assert!(wide.subsumes(&narrow));
+        assert!(!narrow.subsumes(&wide));
+        assert!(PredicateMatrix::universe().subsumes(&narrow));
+        assert!(wide.subsumes(&wide));
+    }
+
+    #[test]
+    fn subsumes_fails_on_conflicting_entry() {
+        let a = m(&[(0, 0, true)]);
+        let b = m(&[(0, 0, false)]);
+        assert!(!a.subsumes(&b));
+    }
+
+    #[test]
+    fn shift_moves_columns() {
+        let a = m(&[(0, 0, true), (1, -1, false)]);
+        let s = a.shifted(1);
+        assert_eq!(s, m(&[(0, 1, true), (1, 0, false)]));
+        assert_eq!(s.shifted(-1), a);
+    }
+
+    #[test]
+    fn shift_zero_is_identity() {
+        let a = m(&[(0, 2, true)]);
+        assert_eq!(a.shifted(0), a);
+    }
+
+    #[test]
+    fn split_and_unify_roundtrip() {
+        let a = m(&[(0, 0, true)]);
+        let (f, t) = a.split(1, 0).unwrap();
+        assert_eq!(f.get(1, 0), PredElem::False);
+        assert_eq!(t.get(1, 0), PredElem::True);
+        assert!(f.is_disjoint(&t));
+        assert_eq!(f.unify(&t), Some(a.clone()));
+        assert_eq!(t.unify(&f), Some(a));
+    }
+
+    #[test]
+    fn split_constrained_element_fails() {
+        let a = m(&[(0, 0, true)]);
+        assert!(a.split(0, 0).is_none());
+    }
+
+    #[test]
+    fn unify_rejects_multi_diff() {
+        let a = m(&[(0, 0, true), (1, 0, true)]);
+        let b = m(&[(0, 0, false), (1, 0, false)]);
+        assert_eq!(a.unify(&b), None);
+    }
+
+    #[test]
+    fn unify_rejects_equal_matrices() {
+        let a = m(&[(0, 0, true)]);
+        assert_eq!(a.unify(&a), None);
+    }
+
+    #[test]
+    fn unify_rejects_different_supports() {
+        let a = m(&[(0, 0, true)]);
+        let b = m(&[(0, 1, false)]);
+        assert_eq!(a.unify(&b), None);
+    }
+
+    #[test]
+    fn widen_to_window_drops_outside_columns() {
+        let a = m(&[(0, -2, true), (0, 0, false), (0, 3, true)]);
+        let w = a.widened_to_window(-1, 1);
+        assert_eq!(w, m(&[(0, 0, false)]));
+    }
+
+    #[test]
+    fn col_span_and_max_row() {
+        let a = m(&[(0, -2, true), (2, 3, false)]);
+        assert_eq!(a.col_span(), Some((-2, 3)));
+        assert_eq!(a.max_row(), Some(2));
+        assert_eq!(PredicateMatrix::universe().col_span(), None);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        // Paper notation: current column underlined; we render `_x_`.
+        let a = m(&[(0, -1, true), (0, 0, true), (0, 1, false)]);
+        assert_eq!(a.to_string(), "[1 _1_ 0]");
+        let u = PredicateMatrix::universe();
+        assert_eq!(u.to_string(), "[_b_]");
+    }
+
+    #[test]
+    fn admits_checks_constrained_entries_only() {
+        let a = m(&[(0, 0, true), (1, 1, false)]);
+        let mut o = OutcomeMap::new();
+        o.set(0, 0, true);
+        o.set(1, 1, false);
+        o.set(5, 5, true);
+        assert!(a.admits(&o));
+        o.set(1, 1, true);
+        assert!(!a.admits(&o));
+    }
+}

@@ -1,0 +1,102 @@
+//! Concrete IF-outcome assignments (one execution path).
+
+use std::collections::BTreeMap;
+
+/// A concrete assignment of outcomes to predicates — one execution path
+/// through (a window of) the loop.
+///
+/// Used to test membership of a path in a path set, both in unit/property
+/// tests and when the simulator maps a dynamic trace back onto the formal
+/// path sets for profile-driven heuristics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutcomeMap {
+    outcomes: BTreeMap<(u32, i32), bool>,
+}
+
+impl OutcomeMap {
+    /// Empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the outcome of IF row `row` in iteration column `col`.
+    pub fn set(&mut self, row: u32, col: i32, outcome: bool) {
+        self.outcomes.insert((row, col), outcome);
+    }
+
+    /// The recorded outcome, if this predicate was assigned.
+    pub fn get(&self, row: u32, col: i32) -> Option<bool> {
+        self.outcomes.get(&(row, col)).copied()
+    }
+
+    /// Build a total assignment over `rows × [lo, hi]` from a function.
+    pub fn from_fn(rows: u32, lo: i32, hi: i32, mut f: impl FnMut(u32, i32) -> bool) -> Self {
+        let mut o = Self::new();
+        for r in 0..rows {
+            for c in lo..=hi {
+                o.set(r, c, f(r, c));
+            }
+        }
+        o
+    }
+
+    /// Shift all columns by `delta`, e.g. to re-center a trace window on a
+    /// different iteration.
+    pub fn shifted(&self, delta: i32) -> Self {
+        Self {
+            outcomes: self
+                .outcomes
+                .iter()
+                .map(|(&(r, c), &v)| ((r, c + delta), v))
+                .collect(),
+        }
+    }
+
+    /// Number of assigned predicates.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether no predicate is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Iterate over `(row, col, outcome)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, i32, bool)> + '_ {
+        self.outcomes.iter().map(|(&(r, c), &v)| (r, c, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get() {
+        let mut o = OutcomeMap::new();
+        assert!(o.is_empty());
+        o.set(0, -1, true);
+        o.set(0, -1, false); // overwrite
+        assert_eq!(o.get(0, -1), Some(false));
+        assert_eq!(o.get(1, 0), None);
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn from_fn_builds_window() {
+        let o = OutcomeMap::from_fn(2, -1, 1, |r, c| (r as i32 + c) % 2 == 0);
+        assert_eq!(o.len(), 6);
+        assert_eq!(o.get(0, 0), Some(true));
+        assert_eq!(o.get(1, 0), Some(false));
+    }
+
+    #[test]
+    fn shift_recenters() {
+        let mut o = OutcomeMap::new();
+        o.set(0, 0, true);
+        let s = o.shifted(2);
+        assert_eq!(s.get(0, 2), Some(true));
+        assert_eq!(s.get(0, 0), None);
+    }
+}

@@ -1,0 +1,465 @@
+//! Finite unions of predicate matrices — *path sets*.
+//!
+//! A single matrix suffices for the *formal* path set of an operation, but
+//! *actual* path sets (the paths on which a speculatively scheduled
+//! operation really executes) generally need a union of matrices (paper §2,
+//! the `[1 b]` ∪ `[0 1]` example). [`PathSet`] provides the set algebra on
+//! such unions, plus a probability measure used by the profile-driven
+//! heuristics of the paper's §4.
+
+use crate::elem::PredElem;
+use crate::matrix::PredicateMatrix;
+use crate::outcome::OutcomeMap;
+use std::fmt;
+
+/// A union of predicate matrices, kept normalized (no empty members, no
+/// member subsumed by another, complementary pairs merged).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathSet {
+    matrices: Vec<PredicateMatrix>,
+}
+
+impl PathSet {
+    /// The empty path set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The set of all paths.
+    pub fn universe() -> Self {
+        Self {
+            matrices: vec![PredicateMatrix::universe()],
+        }
+    }
+
+    /// Singleton union.
+    pub fn from_matrix(m: PredicateMatrix) -> Self {
+        Self { matrices: vec![m] }
+    }
+
+    /// Build from matrices, normalizing.
+    pub fn from_matrices<I: IntoIterator<Item = PredicateMatrix>>(it: I) -> Self {
+        let mut s = Self {
+            matrices: it.into_iter().collect(),
+        };
+        s.normalize();
+        s
+    }
+
+    /// The member matrices (normalized form).
+    pub fn matrices(&self) -> &[PredicateMatrix] {
+        &self.matrices
+    }
+
+    /// Whether the set contains no paths.
+    pub fn is_empty(&self) -> bool {
+        self.matrices.is_empty()
+    }
+
+    /// Whether the set is all paths (semantic check: the representation is
+    /// not canonical, so a covering union may have several members).
+    pub fn is_universe(&self) -> bool {
+        self.matrices.iter().any(|m| m.is_universe()) || Self::universe().subtract(self).is_empty()
+    }
+
+    /// Number of member matrices.
+    pub fn len(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// Add one matrix to the union.
+    pub fn insert(&mut self, m: PredicateMatrix) {
+        self.matrices.push(m);
+        self.normalize();
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut s = Self {
+            matrices: self
+                .matrices
+                .iter()
+                .chain(other.matrices.iter())
+                .cloned()
+                .collect(),
+        };
+        s.normalize();
+        s
+    }
+
+    /// Set intersection (pairwise conjoin).
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut out = Vec::new();
+        for a in &self.matrices {
+            for b in &other.matrices {
+                if let Some(c) = a.conjoin(b) {
+                    out.push(c);
+                }
+            }
+        }
+        let mut s = Self { matrices: out };
+        s.normalize();
+        s
+    }
+
+    /// Intersection with a single matrix.
+    pub fn intersect_matrix(&self, m: &PredicateMatrix) -> Self {
+        self.intersect(&Self::from_matrix(m.clone()))
+    }
+
+    /// Set difference `self \ other`.
+    pub fn subtract(&self, other: &Self) -> Self {
+        let mut rest: Vec<PredicateMatrix> = self.matrices.clone();
+        for sub in &other.matrices {
+            let mut next = Vec::new();
+            for m in rest {
+                next.extend(subtract_matrix(&m, sub));
+            }
+            rest = next;
+        }
+        let mut s = Self { matrices: rest };
+        s.normalize();
+        s
+    }
+
+    /// Complement within the universe.
+    pub fn complement(&self) -> Self {
+        Self::universe().subtract(self)
+    }
+
+    /// Whether every path of `other` lies in `self`.
+    pub fn subsumes(&self, other: &Self) -> bool {
+        other.subtract(self).is_empty()
+    }
+
+    /// Semantic equality: the two unions denote the same path set.
+    ///
+    /// The normal form kept by this type is not canonical (it is a
+    /// DNF-like representation), so structurally different values may be
+    /// equivalent.
+    pub fn equivalent(&self, other: &Self) -> bool {
+        self.subsumes(other) && other.subsumes(self)
+    }
+
+    /// Whether the two sets share no path.
+    pub fn is_disjoint_from(&self, other: &Self) -> bool {
+        self.intersect(other).is_empty()
+    }
+
+    /// Shift all member matrices' columns by `delta`.
+    pub fn shifted(&self, delta: i32) -> Self {
+        Self {
+            matrices: self.matrices.iter().map(|m| m.shifted(delta)).collect(),
+        }
+    }
+
+    /// Whether the concrete path lies in the set.
+    pub fn admits(&self, outcomes: &OutcomeMap) -> bool {
+        self.matrices.iter().any(|m| m.admits(outcomes))
+    }
+
+    /// Probability measure of the set under an independent per-predicate
+    /// model: `prob(row, col)` is the probability that the IF at `row`
+    /// takes its True outcome in iteration `col`.
+    ///
+    /// The union is first disjointified so member measures simply add.
+    pub fn probability(&self, mut prob: impl FnMut(u32, i32) -> f64) -> f64 {
+        let disjoint = self.disjointify();
+        disjoint
+            .iter()
+            .map(|m| {
+                m.constrained()
+                    .map(|(r, c, v)| {
+                        let p = prob(r, c).clamp(0.0, 1.0);
+                        if v {
+                            p
+                        } else {
+                            1.0 - p
+                        }
+                    })
+                    .product::<f64>()
+            })
+            .sum()
+    }
+
+    /// Rewrite the union as a list of pairwise-disjoint matrices covering
+    /// the same path set.
+    pub fn disjointify(&self) -> Vec<PredicateMatrix> {
+        let mut out: Vec<PredicateMatrix> = Vec::new();
+        for m in &self.matrices {
+            // Subtract everything already emitted from m, emit the pieces.
+            let mut pieces = vec![m.clone()];
+            for prev in out.clone() {
+                let mut next = Vec::new();
+                for p in pieces {
+                    next.extend(subtract_matrix(&p, &prev));
+                }
+                pieces = next;
+            }
+            out.extend(pieces);
+        }
+        out
+    }
+
+    /// Normal form: drop subsumed members and merge complementary pairs.
+    fn normalize(&mut self) {
+        loop {
+            // Drop members subsumed by another member.
+            let mut i = 0;
+            while i < self.matrices.len() {
+                let mut removed = false;
+                for j in 0..self.matrices.len() {
+                    if i != j && self.matrices[j].subsumes(&self.matrices[i]) {
+                        // Tie-break equal matrices: keep the lower index.
+                        if self.matrices[j] != self.matrices[i] || j < i {
+                            self.matrices.remove(i);
+                            removed = true;
+                            break;
+                        }
+                    }
+                }
+                if !removed {
+                    i += 1;
+                }
+            }
+            // Merge one complementary pair, if any, then re-run.
+            let mut merged = None;
+            'outer: for i in 0..self.matrices.len() {
+                for j in (i + 1)..self.matrices.len() {
+                    if let Some(u) = self.matrices[i].unify(&self.matrices[j]) {
+                        merged = Some((i, j, u));
+                        break 'outer;
+                    }
+                }
+            }
+            match merged {
+                Some((i, j, u)) => {
+                    self.matrices.remove(j);
+                    self.matrices.remove(i);
+                    self.matrices.push(u);
+                }
+                None => break,
+            }
+        }
+        self.matrices.sort();
+        self.matrices.dedup();
+    }
+}
+
+/// `m \ sub` as a list of disjoint matrices.
+fn subtract_matrix(m: &PredicateMatrix, sub: &PredicateMatrix) -> Vec<PredicateMatrix> {
+    if m.is_disjoint(sub) {
+        return vec![m.clone()];
+    }
+    // Entries of `sub` not already constrained (identically) in `m`.
+    let extra: Vec<(u32, i32, bool)> = sub
+        .constrained()
+        .filter(|&(r, c, _)| !m.get(r, c).is_constrained())
+        .collect();
+    if extra.is_empty() {
+        // m ⊆ sub: nothing remains.
+        return Vec::new();
+    }
+    // Standard "staircase" decomposition: piece i agrees with sub on the
+    // first i extra entries and disagrees on the (i+1)-th.
+    let mut out = Vec::with_capacity(extra.len());
+    let mut base = m.clone();
+    for &(r, c, v) in &extra {
+        out.push(base.with(r, c, PredElem::from_bool(!v)));
+        base.set(r, c, PredElem::from_bool(v));
+    }
+    out
+}
+
+impl fmt::Display for PathSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.matrices.is_empty() {
+            return write!(f, "{{}}");
+        }
+        write!(f, "{{")?;
+        for (i, m) in self.matrices.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl From<PredicateMatrix> for PathSet {
+    fn from(m: PredicateMatrix) -> Self {
+        Self::from_matrix(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(entries: &[(u32, i32, bool)]) -> PredicateMatrix {
+        PredicateMatrix::from_entries(entries.iter().copied())
+    }
+
+    #[test]
+    fn empty_and_universe() {
+        assert!(PathSet::empty().is_empty());
+        assert!(PathSet::universe().is_universe());
+        assert!(!PathSet::universe().is_empty());
+    }
+
+    #[test]
+    fn union_of_complements_is_universe() {
+        let a = PathSet::from_matrix(m(&[(0, 0, true)]));
+        let b = PathSet::from_matrix(m(&[(0, 0, false)]));
+        let u = a.union(&b);
+        assert!(u.is_universe());
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn union_drops_subsumed_member() {
+        let wide = m(&[(0, 0, true)]);
+        let narrow = m(&[(0, 0, true), (1, 0, false)]);
+        let s = PathSet::from_matrices([narrow, wide.clone()]);
+        assert_eq!(s.matrices(), &[wide]);
+    }
+
+    #[test]
+    fn intersect_distributes() {
+        let a = PathSet::from_matrices([m(&[(0, 0, true)]), m(&[(0, 0, false), (1, 0, true)])]);
+        let b = PathSet::from_matrix(m(&[(1, 0, true)]));
+        let i = a.intersect(&b);
+        // = [1 ; 1] ∪ [0 ; 1] which normalizes to [b ; 1] i.e. row1=1.
+        assert_eq!(i.matrices(), &[m(&[(1, 0, true)])]);
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = PathSet::from_matrix(m(&[(0, 0, true)]));
+        let b = PathSet::from_matrix(m(&[(0, 0, false)]));
+        assert!(a.intersect(&b).is_empty());
+        assert!(a.is_disjoint_from(&b));
+    }
+
+    #[test]
+    fn subtract_within_single_row() {
+        let u = PathSet::universe();
+        let a = PathSet::from_matrix(m(&[(0, 0, true)]));
+        let c = u.subtract(&a);
+        assert_eq!(c.matrices(), &[m(&[(0, 0, false)])]);
+    }
+
+    #[test]
+    fn subtract_multi_entry() {
+        // universe \ [1 1] = [0 b] ∪ [1 0]
+        let u = PathSet::universe();
+        let a = PathSet::from_matrix(m(&[(0, 0, true), (0, 1, true)]));
+        let c = u.subtract(&a);
+        assert!(c.admits(&outcome(&[((0, 0), false), ((0, 1), true)])));
+        assert!(c.admits(&outcome(&[((0, 0), true), ((0, 1), false)])));
+        assert!(!c.admits(&outcome(&[((0, 0), true), ((0, 1), true)])));
+        // Re-union must give back the universe.
+        assert!(c.union(&a).is_universe());
+    }
+
+    #[test]
+    fn complement_involution() {
+        let a = PathSet::from_matrices([m(&[(0, 0, true)]), m(&[(1, -1, false)])]);
+        assert!(a.complement().complement().equivalent(&a));
+        assert!(a.complement().is_disjoint_from(&a));
+        assert!(a.complement().union(&a).is_universe());
+    }
+
+    #[test]
+    fn subsumes_reflexive_and_universe_top() {
+        let a = PathSet::from_matrix(m(&[(0, 0, true)]));
+        assert!(a.subsumes(&a));
+        assert!(PathSet::universe().subsumes(&a));
+        assert!(!a.subsumes(&PathSet::universe()));
+        assert!(a.subsumes(&PathSet::empty()));
+    }
+
+    #[test]
+    fn paper_actual_set_example() {
+        // Actual set {[1 b], [0 1]}: executed on both outcomes of the
+        // current IF when the previous outcome was True, else only on True
+        // of the current. Columns here: -1 = previous, 0 = current.
+        let s = PathSet::from_matrices([
+            m(&[(0, -1, true)]),
+            m(&[(0, -1, false), (0, 0, true)]),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert!(s.admits(&outcome(&[((0, -1), true), ((0, 0), false)])));
+        assert!(s.admits(&outcome(&[((0, -1), false), ((0, 0), true)])));
+        assert!(!s.admits(&outcome(&[((0, -1), false), ((0, 0), false)])));
+        // Formal set is [b 1] (True of current IF); actual ⊇ formal.
+        let formal = PathSet::from_matrix(m(&[(0, 0, true)]));
+        assert!(s.subsumes(&formal));
+    }
+
+    #[test]
+    fn disjointify_preserves_membership_and_is_disjoint() {
+        let s = PathSet::from_matrices([m(&[(0, 0, true)]), m(&[(0, 1, true)])]);
+        let d = s.disjointify();
+        for i in 0..d.len() {
+            for j in (i + 1)..d.len() {
+                assert!(d[i].is_disjoint(&d[j]), "{} vs {}", d[i], d[j]);
+            }
+        }
+        // Same set: compare membership on the full 2x2 outcome window.
+        for a in [false, true] {
+            for b in [false, true] {
+                let o = outcome(&[((0, 0), a), ((0, 1), b)]);
+                let in_s = s.admits(&o);
+                let in_d = d.iter().any(|mm| mm.admits(&o));
+                assert_eq!(in_s, in_d);
+            }
+        }
+    }
+
+    #[test]
+    fn probability_uniform_single_if() {
+        let a = PathSet::from_matrix(m(&[(0, 0, true)]));
+        assert!((a.probability(|_, _| 0.5) - 0.5).abs() < 1e-12);
+        let u = PathSet::universe();
+        assert!((u.probability(|_, _| 0.3) - 1.0).abs() < 1e-12);
+        assert!((PathSet::empty().probability(|_, _| 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_of_overlapping_union() {
+        // [1 b] ∪ [b 1] with p = 0.5 each: P = 0.5 + 0.5 - 0.25 = 0.75.
+        let s = PathSet::from_matrices([m(&[(0, 0, true)]), m(&[(0, 1, true)])]);
+        assert!((s.probability(|_, _| 0.5) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_distributes_over_union() {
+        let s = PathSet::from_matrices([m(&[(0, 0, true)]), m(&[(1, 1, false)])]);
+        let sh = s.shifted(2);
+        assert!(sh
+            .matrices()
+            .iter()
+            .any(|mm| mm.get(0, 2) == PredElem::True));
+        assert!(sh
+            .matrices()
+            .iter()
+            .any(|mm| mm.get(1, 3) == PredElem::False));
+    }
+
+    #[test]
+    fn display_renders_union() {
+        let s = PathSet::from_matrices([m(&[(0, 0, true)])]);
+        assert_eq!(s.to_string(), "{[_1_]}");
+        assert_eq!(PathSet::empty().to_string(), "{}");
+    }
+
+    fn outcome(assignments: &[((u32, i32), bool)]) -> OutcomeMap {
+        let mut o = OutcomeMap::new();
+        for &((r, c), v) in assignments {
+            o.set(r, c, v);
+        }
+        o
+    }
+}

@@ -1,0 +1,254 @@
+//! Semantic equivalence checking between a source loop and compiled code.
+//!
+//! The transformed loop may freely clobber registers that are not live-out
+//! (renaming introduces many), so only live-out registers and the full
+//! array memory are compared.
+
+use crate::reference::{run_reference, RefRun};
+use crate::state::{MachineState, SimError};
+use crate::vliw_run::{run_vliw, VliwRun};
+use psp_ir::{LoopSpec, RegRef};
+use psp_machine::VliwLoop;
+use std::fmt;
+
+/// Mismatch found by [`check_equivalence`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquivalenceError {
+    /// The simulation itself failed.
+    Sim(SimError),
+    /// A live-out register differs.
+    Register {
+        /// Which register.
+        reg: RegRef,
+        /// Reference value.
+        expected: i64,
+        /// Compiled-code value.
+        actual: i64,
+    },
+    /// Array contents differ.
+    Array {
+        /// Array index.
+        array: usize,
+        /// First differing element.
+        element: usize,
+        /// Reference value.
+        expected: i64,
+        /// Compiled-code value.
+        actual: i64,
+    },
+}
+
+impl fmt::Display for EquivalenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivalenceError::Sim(e) => write!(f, "simulation failed: {e}"),
+            EquivalenceError::Register {
+                reg,
+                expected,
+                actual,
+            } => write!(f, "live-out {reg}: expected {expected}, got {actual}"),
+            EquivalenceError::Array {
+                array,
+                element,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "array a{array}[{element}]: expected {expected}, got {actual}"
+            ),
+        }
+    }
+}
+
+impl From<SimError> for EquivalenceError {
+    fn from(e: SimError) -> Self {
+        EquivalenceError::Sim(e)
+    }
+}
+
+/// Run `spec` (reference) and `prog` (compiled) from the same initial state
+/// and compare observable results. Returns both runs on success so callers
+/// can also compare cycle counts.
+pub fn check_equivalence(
+    spec: &LoopSpec,
+    prog: &VliwLoop,
+    initial: &MachineState,
+    max_cycles: u64,
+) -> Result<(RefRun, VliwRun), EquivalenceError> {
+    let golden = run_reference(spec, initial.clone(), max_cycles)?;
+    let mut start = initial.clone();
+    // Compiled code may use renamed registers beyond the spec's count.
+    let (prog_regs, prog_ccs) = prog.register_demand();
+    let max_reg = prog_regs.max(spec.n_regs);
+    let max_cc = prog_ccs.max(spec.n_ccs);
+    start.grow(max_reg, max_cc);
+    let run = run_vliw(prog, start, max_cycles)?;
+
+    for &lo in &spec.live_out {
+        let (expected, actual) = match lo {
+            RegRef::Gpr(r) => (
+                golden.state.regs[r.0 as usize],
+                run.state.regs[r.0 as usize],
+            ),
+            RegRef::Cc(c) => (
+                golden.state.ccs[c.0 as usize] as i64,
+                run.state.ccs[c.0 as usize] as i64,
+            ),
+        };
+        if expected != actual {
+            return Err(EquivalenceError::Register {
+                reg: lo,
+                expected,
+                actual,
+            });
+        }
+    }
+    for (ai, (ga, ra)) in golden
+        .state
+        .arrays
+        .iter()
+        .zip(run.state.arrays.iter())
+        .enumerate()
+    {
+        for (ei, (g, r)) in ga.iter().zip(ra.iter()).enumerate() {
+            if g != r {
+                return Err(EquivalenceError::Array {
+                    array: ai,
+                    element: ei,
+                    expected: *g,
+                    actual: *r,
+                });
+            }
+        }
+    }
+    Ok((golden, run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psp_ir::op::build::*;
+    use psp_ir::{ArrayId, CcReg, CmpOp, Guard, LoopBuilder, Operation, Reg};
+    use psp_machine::{Succ, VliwBlock, VliwTerm};
+    use psp_predicate::PredicateMatrix;
+
+    fn vecmin_spec() -> LoopSpec {
+        let mut b = LoopBuilder::new("vecmin");
+        let x = b.array("x");
+        let one = b.reg();
+        let n = b.reg();
+        let k = b.reg();
+        let m = b.reg();
+        let xk = b.reg();
+        let xm = b.reg();
+        let cc0 = b.cc();
+        let cc1 = b.cc();
+        b.op(load(xk, x, k));
+        b.op(load(xm, x, m));
+        b.op(cmp(CmpOp::Lt, cc0, xk, xm));
+        b.if_else(cc0, |b| {
+            b.op(copy(m, k));
+        }, |_| {});
+        b.op(add(k, k, one));
+        b.op(cmp(CmpOp::Ge, cc1, k, n));
+        b.break_(cc1);
+        b.finish([one, n, k, m], [m])
+    }
+
+    fn fig1b_prog() -> VliwLoop {
+        let x = ArrayId(0);
+        let b0 = VliwBlock {
+            id: 0,
+            matrix: PredicateMatrix::universe(),
+            cycles: vec![
+                vec![
+                    load(Reg(4), x, Reg(2)),
+                    load(Reg(5), x, Reg(3)),
+                    add(Reg(6), Reg(2), Reg(0)),
+                ],
+                vec![
+                    cmp(CmpOp::Lt, CcReg(0), Reg(4), Reg(5)),
+                    cmp(CmpOp::Ge, CcReg(1), Reg(6), Reg(1)),
+                ],
+                vec![
+                    if_(CcReg(0)),
+                    Operation {
+                        guard: Some(Guard::when(CcReg(0))),
+                        ..copy(Reg(3), Reg(2))
+                    },
+                    break_(CcReg(1)),
+                    copy(Reg(2), Reg(6)),
+                ],
+            ],
+            term: VliwTerm::Branch {
+                cc: CcReg(0),
+                on_true: Succ::back(0),
+                on_false: Succ::back(0),
+            },
+        };
+        VliwLoop {
+            name: "fig1b".into(),
+            prologue: vec![],
+            blocks: vec![b0],
+            entry: 0,
+            epilogue: vec![],
+        }
+    }
+
+    fn initial(data: Vec<i64>) -> MachineState {
+        let mut s = MachineState::new(8, 2);
+        s.regs[0] = 1;
+        s.regs[1] = data.len() as i64;
+        s.push_array(data);
+        s
+    }
+
+    #[test]
+    fn fig1b_is_equivalent_and_faster() {
+        let (gold, run) = check_equivalence(
+            &vecmin_spec(),
+            &fig1b_prog(),
+            &initial(vec![5, 3, 8, 1, 9, 1, 4, 0, 2]),
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(gold.state.regs[3], run.state.regs[3]);
+        assert!(run.body_cycles < gold.cycles);
+    }
+
+    #[test]
+    fn detects_wrong_result() {
+        let mut bad = fig1b_prog();
+        // Sabotage: invert the guard on the COPY.
+        if let Some(op) = bad.blocks[0].cycles[2].get_mut(1) {
+            op.guard = Some(Guard::unless(CcReg(0)));
+        }
+        let err = check_equivalence(
+            &vecmin_spec(),
+            &bad,
+            &initial(vec![5, 3, 8, 1]),
+            100_000,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EquivalenceError::Register { .. }));
+    }
+
+    #[test]
+    fn detects_array_corruption() {
+        let mut bad = fig1b_prog();
+        bad.blocks[0].cycles[0].push(store(ArrayId(0), Reg(2), 99i64));
+        let err =
+            check_equivalence(&vecmin_spec(), &bad, &initial(vec![5, 3, 8, 1]), 100_000)
+                .unwrap_err();
+        assert!(matches!(err, EquivalenceError::Array { .. }));
+    }
+
+    #[test]
+    fn grows_register_file_for_renamed_code() {
+        // Compiled code uses R6 while the initial state only has 8 regs —
+        // also exercise a program using a brand-new high register.
+        let mut prog = fig1b_prog();
+        prog.blocks[0].cycles[0].push(copy(Reg(31), 0i64));
+        check_equivalence(&vecmin_spec(), &prog, &initial(vec![3, 1, 2]), 100_000).unwrap();
+    }
+}

@@ -1,0 +1,38 @@
+//! Execution substrate for the PSP reproduction.
+//!
+//! The paper evaluated its prototype on (a model of) the IBM tree-VLIW
+//! architecture; no such hardware is available, so this crate provides a
+//! deterministic, cycle-accurate *simulator* that measures exactly the
+//! quantities the paper reports — per-path initiation intervals and dynamic
+//! cycle counts — and additionally *verifies* that transformed loops are
+//! semantically equivalent to their source loops.
+//!
+//! Three interpreters / services:
+//!
+//! * [`reference::run_reference`] — executes a structured [`psp_ir::LoopSpec`]
+//!   with strict sequential semantics (one operation per cycle), producing
+//!   the golden final state, the per-path sequential cycle counts, and the
+//!   IF-outcome trace used for profiling;
+//! * [`vliw_run::run_vliw`] — executes a compiled [`psp_machine::VliwLoop`]
+//!   with parallel per-cycle semantics (all reads see pre-cycle state,
+//!   guards resolve against pre-cycle condition registers, `BREAK` exits at
+//!   end of cycle), counting body cycles and iterations;
+//! * [`equiv::check_equivalence`] — runs both on the same initial state and
+//!   compares live-out registers and all array contents;
+//! * [`profile::BranchProfile`] — per-IF truth probabilities estimated from
+//!   a reference trace, feeding the paper's §4 probability-driven
+//!   heuristics.
+
+pub mod equiv;
+pub mod profile;
+pub mod reference;
+pub mod state;
+pub mod trace;
+pub mod vliw_run;
+
+pub use equiv::{check_equivalence, EquivalenceError};
+pub use profile::BranchProfile;
+pub use reference::{run_reference, RefRun};
+pub use trace::{trace_vliw, Phase, TraceEvent};
+pub use state::{MachineState, SimError};
+pub use vliw_run::{run_vliw, VliwRun};

@@ -1,0 +1,90 @@
+//! Compare every compiler in the workspace — sequential, local scheduling,
+//! unroll-and-schedule, EMS-style single-II modulo scheduling, and PSP —
+//! on one kernel, with verified execution.
+//!
+//! ```sh
+//! cargo run --example compare_baselines --release [kernel] [len]
+//! ```
+
+use psp::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "vecmin".into());
+    let len: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+
+    let kernel = by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown kernel `{name}`; available:");
+        for k in all_kernels() {
+            eprintln!("  {:<16} {}", k.name, k.description);
+        }
+        std::process::exit(1);
+    });
+    let machine = MachineConfig::paper_default();
+    let data = KernelData::random(7, len);
+    let init = kernel.initial_state(&data);
+
+    println!("kernel: {} ({}), n = {len}", kernel.name, kernel.description);
+    println!(
+        "{:<14} {:>9} {:>12} {:>12} {:>9}",
+        "compiler", "II", "body cycles", "cycles/iter", "speedup"
+    );
+
+    let golden = run_reference(&kernel.spec, init.clone(), 100_000_000).expect("reference runs");
+    let base = golden.cycles as f64;
+    println!(
+        "{:<14} {:>9} {:>12} {:>12.2} {:>8.2}x",
+        "sequential*",
+        "-",
+        golden.cycles,
+        golden.cycles_per_iteration(),
+        1.0
+    );
+
+    let report = |label: &str, prog: &VliwLoop| {
+        let (_, run) = check_equivalence(&kernel.spec, prog, &init, 100_000_000)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        kernel.check(&run.state, &data).expect("golden result");
+        let ii = prog
+            .ii_range()
+            .map(|(a, b)| {
+                if a == b {
+                    format!("{a}")
+                } else {
+                    format!("{a}..{b}")
+                }
+            })
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<14} {:>9} {:>12} {:>12.2} {:>8.2}x",
+            label,
+            ii,
+            run.body_cycles,
+            run.cycles_per_iteration(),
+            base / run.body_cycles as f64
+        );
+    };
+
+    report("sequential", &compile_sequential(&kernel.spec));
+    report("local", &compile_local(&kernel.spec, &machine));
+    report("unroll x4", &compile_unrolled(&kernel.spec, 4, &machine));
+
+    // EMS: verified schedule + idealized cycle model (see DESIGN.md §4).
+    let ems = modulo_schedule(&kernel.spec, &machine);
+    ems.verify(&machine).expect("modulo schedule verifies");
+    println!(
+        "{:<14} {:>9} {:>12} {:>12.2} {:>8.2}x   (idealized)",
+        "ems (1 II)",
+        ems.ii,
+        ems.estimated_cycles(golden.iterations),
+        ems.estimated_cycles(golden.iterations) as f64 / golden.iterations as f64,
+        base / ems.estimated_cycles(golden.iterations) as f64
+    );
+
+    let psp = pipeline_loop(&kernel.spec, &PspConfig::with_machine(machine.clone()))
+        .expect("psp pipelines");
+    report("psp", &psp.program);
+}

@@ -1,0 +1,149 @@
+//! Differential testing across compilation techniques: every compiler must
+//! produce code observationally equivalent to the reference interpreter on
+//! every kernel, across machine widths, trip counts, and adversarial
+//! inputs.
+
+use psp::prelude::*;
+
+fn machines() -> Vec<MachineConfig> {
+    vec![
+        MachineConfig::paper_default(),
+        MachineConfig::narrow(2, 1, 1),
+        MachineConfig::narrow(1, 1, 1),
+        MachineConfig {
+            load_latency: 2,
+            ..MachineConfig::paper_default()
+        },
+        MachineConfig {
+            load_latency: 3,
+            cmp_latency: 2,
+            ..MachineConfig::narrow(4, 2, 1)
+        },
+        MachineConfig {
+            speculative_loads: false,
+            ..MachineConfig::paper_default()
+        },
+    ]
+}
+
+fn inputs(len: usize) -> Vec<KernelData> {
+    let mut out = vec![
+        KernelData::random(1, len),
+        KernelData::random(2, len),
+    ];
+    // Adversarial shapes.
+    let mut all_equal = KernelData::random(3, len);
+    all_equal.x.iter_mut().for_each(|v| *v = 7);
+    out.push(all_equal);
+    let mut sorted = KernelData::random(4, len);
+    sorted.x.sort_unstable();
+    out.push(sorted);
+    let mut reversed = KernelData::random(5, len);
+    reversed.x.sort_unstable();
+    reversed.x.reverse();
+    out.push(reversed);
+    let mut alternating = KernelData::random(6, len);
+    for (i, v) in alternating.x.iter_mut().enumerate() {
+        *v = if i % 2 == 0 { 100 } else { -100 };
+    }
+    out.push(alternating);
+    out
+}
+
+fn check(kernel: &Kernel, prog: &VliwLoop, data: &KernelData, label: &str) {
+    let init = kernel.initial_state(data);
+    let (_, run) = check_equivalence(&kernel.spec, prog, &init, 100_000_000)
+        .unwrap_or_else(|e| panic!("{} [{label}]: {e}\n{prog}", kernel.name));
+    kernel
+        .check(&run.state, data)
+        .unwrap_or_else(|e| panic!("[{label}] {e}"));
+}
+
+#[test]
+fn sequential_equivalent_everywhere() {
+    for kernel in all_kernels() {
+        let prog = compile_sequential(&kernel.spec);
+        for len in [1usize, 2, 3, 17] {
+            for data in inputs(len) {
+                check(&kernel, &prog, &data, "seq");
+            }
+        }
+    }
+}
+
+#[test]
+fn local_equivalent_everywhere() {
+    for kernel in all_kernels() {
+        for m in machines() {
+            let prog = compile_local(&kernel.spec, &m);
+            for len in [1usize, 2, 13] {
+                for data in inputs(len) {
+                    check(&kernel, &prog, &data, "local");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unroll_equivalent_everywhere() {
+    for kernel in all_kernels() {
+        for factor in [2u32, 3, 4] {
+            let m = MachineConfig::paper_default();
+            let prog = compile_unrolled(&kernel.spec, factor, &m);
+            // Trip counts around the unroll factor are the dangerous ones.
+            for len in [1usize, 2, 3, 4, 5, 7, 8, 9, 16] {
+                for data in inputs(len) {
+                    check(&kernel, &prog, &data, "unroll");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn psp_equivalent_everywhere() {
+    for kernel in all_kernels() {
+        for m in machines() {
+            let res = pipeline_loop(&kernel.spec, &PspConfig::with_machine(m.clone()))
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            // Short trip counts stress the preloop; long ones the steady
+            // state.
+            for len in [1usize, 2, 3, 4, 5, 9, 33] {
+                for data in inputs(len) {
+                    check(&kernel, &res.program, &data, "psp");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn psp_profile_guided_equivalent() {
+    for name in ["skewed", "two_cond", "cond_sum", "vecmin"] {
+        let kernel = by_name(name).unwrap();
+        for p in [0.05, 0.5, 0.95] {
+            let cfg = PspConfig {
+                probs: Some(vec![p; kernel.spec.n_ifs as usize]),
+                ..PspConfig::with_machine(MachineConfig::narrow(2, 1, 1))
+            };
+            let res = pipeline_loop(&kernel.spec, &cfg).unwrap();
+            for len in [1usize, 5, 64] {
+                for data in inputs(len) {
+                    check(&kernel, &res.program, &data, "psp-prob");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ems_schedules_verify_everywhere() {
+    for kernel in all_kernels() {
+        for m in machines() {
+            let s = modulo_schedule(&kernel.spec, &m);
+            s.verify(&m)
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        }
+    }
+}
