@@ -197,9 +197,9 @@ mod tests {
     fn flow_anti_output_edges() {
         let m = MachineConfig::paper_default();
         let ops = vec![
-            (add(Reg(0), Reg(1), 1i64), u()),  // 0: def R0
-            (add(Reg(2), Reg(0), 1i64), u()),  // 1: use R0 (flow from 0)
-            (add(Reg(0), Reg(3), 1i64), u()),  // 2: redef R0 (anti from 1, output from 0)
+            (add(Reg(0), Reg(1), 1i64), u()), // 0: def R0
+            (add(Reg(2), Reg(0), 1i64), u()), // 1: use R0 (flow from 0)
+            (add(Reg(0), Reg(3), 1i64), u()), // 2: redef R0 (anti from 1, output from 0)
         ];
         let g = build_deps(&ops, &[], &m);
         assert!(g.succs[0].contains(&(1, 1)), "flow lat 1");
@@ -243,10 +243,10 @@ mod tests {
         let x = ArrayId(0);
         let live_out = vec![RegRef::Gpr(Reg(5))];
         let ops = vec![
-            (store(x, Reg(0), Reg(1)), u()),   // 0: observable
-            (break_(CcReg(0)), u()),           // 1
-            (copy(Reg(5), Reg(2)), u()),       // 2: live-out def
-            (copy(Reg(6), Reg(2)), u()),       // 3: scratch
+            (store(x, Reg(0), Reg(1)), u()), // 0: observable
+            (break_(CcReg(0)), u()),         // 1
+            (copy(Reg(5), Reg(2)), u()),     // 2: live-out def
+            (copy(Reg(6), Reg(2)), u()),     // 3: scratch
         ];
         let g = build_deps(&ops, &live_out, &m);
         assert!(g.succs[0].contains(&(1, 0)), "store before break, lat 0");
@@ -263,7 +263,10 @@ mod tests {
             (add(Reg(0), Reg(0), 1i64), u()),
             (sub(Reg(1), Reg(1), 2i64), u()),
             (add(Reg(2), Reg(3), 1i64), u()), // not self-increment
-            (add(Reg(4), Reg(4), 1i64), PredicateMatrix::single(0, 0, true)), // conditional
+            (
+                add(Reg(4), Reg(4), 1i64),
+                PredicateMatrix::single(0, 0, true),
+            ), // conditional
         ];
         let s = induction_strides(&ops);
         assert_eq!(s.get(&Reg(0)), Some(&1));

@@ -271,8 +271,7 @@ fn try_schedule(
     // Verify all edges (cross edges to later-scheduled ops were unknown at
     // placement time).
     for e in edges {
-        if (time[e.to] as i64 + (ii as i64) * e.dist as i64)
-            < (time[e.from] as i64 + e.lat as i64)
+        if (time[e.to] as i64 + (ii as i64) * e.dist as i64) < (time[e.from] as i64 + e.lat as i64)
         {
             return None;
         }
@@ -320,7 +319,11 @@ mod tests {
         for kernel in all_kernels() {
             let s = modulo_schedule(&kernel.spec, &m);
             let ic = if_convert(&kernel.spec);
-            assert!(s.ii >= ModuloSchedule::res_mii(&ic.ops, &m), "{}", kernel.name);
+            assert!(
+                s.ii >= ModuloSchedule::res_mii(&ic.ops, &m),
+                "{}",
+                kernel.name
+            );
         }
     }
 

@@ -102,10 +102,7 @@ fn compound_cc(
         let (row, _c, val) = rest.constrained().next().unwrap();
         (cc_of_row[&row], val)
     } else {
-        (
-            compound_cc(&rest, cc_of_row, compound, spec, out),
-            true,
-        )
+        (compound_cc(&rest, cc_of_row, compound, spec, out), true)
     };
     let b = cc_of_row[&last_row];
     let dst = spec.fresh_cc();
@@ -140,10 +137,7 @@ mod tests {
         assert!(g.on_true);
         assert_eq!(g.cc.0, 0);
         // Everything else unguarded.
-        assert_eq!(
-            ic.ops.iter().filter(|(o, _)| o.guard.is_some()).count(),
-            1
-        );
+        assert_eq!(ic.ops.iter().filter(|(o, _)| o.guard.is_some()).count(), 1);
     }
 
     #[test]
@@ -157,11 +151,7 @@ mod tests {
             .collect();
         assert_eq!(ccands.len(), 1, "inner clamp arm needs one CCAND");
         // The COPY v,hi must be guarded by the fresh compound register.
-        let guarded: Vec<_> = ic
-            .ops
-            .iter()
-            .filter(|(o, _)| o.guard.is_some())
-            .collect();
+        let guarded: Vec<_> = ic.ops.iter().filter(|(o, _)| o.guard.is_some()).collect();
         assert!(guarded.len() >= 3); // copy lo, cmp hi?, copy hi…
         let compound_cc = match ccands[0].0.kind {
             OpKind::CcAnd { dst, .. } => dst,
@@ -195,8 +185,13 @@ mod tests {
             .ops
             .iter()
             .find(|(o, m)| {
-                matches!(o.kind, OpKind::Alu { op: psp_ir::AluOp::Add, .. })
-                    && m.constrained_len() == 2
+                matches!(
+                    o.kind,
+                    OpKind::Alu {
+                        op: psp_ir::AluOp::Add,
+                        ..
+                    }
+                ) && m.constrained_len() == 2
             })
             .expect("nested add present");
         assert!(add_acc.0.guard.is_some());

@@ -35,9 +35,9 @@ pub fn list_schedule(
                 .iter()
                 .copied()
                 .filter(|&i| {
-                    deps.preds[i].iter().all(|&(p, lat)| {
-                        cycle_of[p].is_some_and(|cp| cp + lat as usize <= t)
-                    })
+                    deps.preds[i]
+                        .iter()
+                        .all(|&(p, lat)| cycle_of[p].is_some_and(|cp| cp + lat as usize <= t))
                 })
                 .collect();
             // Highest first; ties broken by source order for determinism.
@@ -85,9 +85,7 @@ mod tests {
     #[test]
     fn independent_ops_pack_into_one_cycle() {
         let m = MachineConfig::paper_default();
-        let ops: Vec<_> = (0..4)
-            .map(|i| (copy(Reg(i), 1i64), u()))
-            .collect();
+        let ops: Vec<_> = (0..4).map(|i| (copy(Reg(i), 1i64), u())).collect();
         let deps = build_deps(&ops, &[], &m);
         let cycles = list_schedule(&ops, &deps, &m);
         assert_eq!(cycles.len(), 1);
@@ -97,9 +95,7 @@ mod tests {
     #[test]
     fn resource_limits_split_cycles() {
         let m = MachineConfig::narrow(2, 1, 1);
-        let ops: Vec<_> = (0..4)
-            .map(|i| (copy(Reg(i), 1i64), u()))
-            .collect();
+        let ops: Vec<_> = (0..4).map(|i| (copy(Reg(i), 1i64), u())).collect();
         let deps = build_deps(&ops, &[], &m);
         let cycles = list_schedule(&ops, &deps, &m);
         assert_eq!(cycles.len(), 2);

@@ -54,7 +54,8 @@ mod tests {
         let m = MachineConfig::paper_default();
         for kernel in all_kernels() {
             let prog = compile_local(&kernel.spec, &m);
-            prog.validate(&m).unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            prog.validate(&m)
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
             for seed in 0..4u64 {
                 let data = KernelData::random(seed * 13 + 1, 41);
                 let init = kernel.initial_state(&data);
@@ -73,10 +74,8 @@ mod tests {
             let locp = compile_local(&kernel.spec, &m);
             let data = KernelData::random(99, 64);
             let init = kernel.initial_state(&data);
-            let (_, seq_run) =
-                check_equivalence(&kernel.spec, &seqp, &init, 1_000_000).unwrap();
-            let (_, loc_run) =
-                check_equivalence(&kernel.spec, &locp, &init, 1_000_000).unwrap();
+            let (_, seq_run) = check_equivalence(&kernel.spec, &seqp, &init, 1_000_000).unwrap();
+            let (_, loc_run) = check_equivalence(&kernel.spec, &locp, &init, 1_000_000).unwrap();
             assert!(
                 loc_run.body_cycles <= seq_run.body_cycles,
                 "{}: local {} > seq {}",

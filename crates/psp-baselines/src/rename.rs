@@ -51,8 +51,7 @@ pub fn rename_inductions(
         }
         let renameable = match def_op.kind {
             OpKind::Alu { dst, a, b, .. } if dst == r => {
-                let self_or_inv =
-                    |o: Operand| o == Operand::Reg(r) || is_invariant(o);
+                let self_or_inv = |o: Operand| o == Operand::Reg(r) || is_invariant(o);
                 self_or_inv(a) && self_or_inv(b)
             }
             OpKind::Copy { dst, src } if dst == r => is_invariant(src),
@@ -150,9 +149,13 @@ mod tests {
         let cc0 = b.cc();
         let cc1 = b.cc();
         b.op(cmp(CmpOp::Gt, cc0, k, 0i64));
-        b.if_else(cc0, |b| {
-            b.op(add(r, r, 1i64));
-        }, |_| {});
+        b.if_else(
+            cc0,
+            |b| {
+                b.op(add(r, r, 1i64));
+            },
+            |_| {},
+        );
         b.op(copy(k, r)); // later use of r
         b.op(cmp(CmpOp::Ge, cc1, k, 10i64));
         b.break_(cc1);

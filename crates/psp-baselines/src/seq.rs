@@ -13,7 +13,12 @@ use psp_predicate::{PredElem, PredicateMatrix};
 pub fn compile_sequential(spec: &LoopSpec) -> VliwLoop {
     let mut blocks: Vec<VliwBlock> = Vec::new();
     let entry = new_block(&mut blocks, PredicateMatrix::universe());
-    let last = emit_items(&spec.items, entry, &PredicateMatrix::universe(), &mut blocks);
+    let last = emit_items(
+        &spec.items,
+        entry,
+        &PredicateMatrix::universe(),
+        &mut blocks,
+    );
     blocks[last].term = VliwTerm::Jump(Succ::back(entry));
     VliwLoop {
         name: format!("{}-seq", spec.name),
@@ -90,9 +95,8 @@ mod tests {
             for seed in 0..3u64 {
                 let data = psp_kernels::KernelData::random(seed + 100, 33);
                 let init = kernel.initial_state(&data);
-                let (_, run) =
-                    psp_sim::check_equivalence(&kernel.spec, &prog, &init, 1_000_000)
-                        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+                let (_, run) = psp_sim::check_equivalence(&kernel.spec, &prog, &init, 1_000_000)
+                    .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
                 kernel.check(&run.state, &data).unwrap();
             }
         }

@@ -23,10 +23,7 @@ use std::collections::BTreeMap;
 /// and which are neither live-in nor live-out (safe to rename per copy —
 /// a live-out register written before ever being read, like a search
 /// result, must keep its architectural name).
-fn def_first_regs(
-    ops: &[(Operation, PredicateMatrix)],
-    spec: &LoopSpec,
-) -> (Vec<Reg>, Vec<CcReg>) {
+fn def_first_regs(ops: &[(Operation, PredicateMatrix)], spec: &LoopSpec) -> (Vec<Reg>, Vec<CcReg>) {
     let mut seen_use: Vec<RegRef> = Vec::new();
     let mut first_def: Vec<RegRef> = Vec::new();
     for (op, _) in ops {
@@ -137,9 +134,8 @@ mod tests {
                 for len in [1usize, 7, 32] {
                     let data = KernelData::random(factor as u64 * 100 + len as u64, len);
                     let init = kernel.initial_state(&data);
-                    let (_, run) =
-                        check_equivalence(&kernel.spec, &prog, &init, 1_000_000)
-                            .unwrap_or_else(|e| panic!("{} x{factor} len{len}: {e}", kernel.name));
+                    let (_, run) = check_equivalence(&kernel.spec, &prog, &init, 1_000_000)
+                        .unwrap_or_else(|e| panic!("{} x{factor} len{len}: {e}", kernel.name));
                     kernel.check(&run.state, &data).unwrap();
                 }
             }

@@ -28,6 +28,24 @@ fn bench_scheduling(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // Sequential vs parallel+pruned driver on the heaviest kernels. The
+    // PspStats phase breakdown is printed once per configuration so the
+    // criterion wall-clock numbers can be attributed to driver phases.
+    let mut g = c.benchmark_group("psp_schedule_drivers");
+    let seq_cfg = PspConfig::default().sequential();
+    let par_cfg = PspConfig::default();
+    for name in ["clamp_store", "bubble_pass"] {
+        let kernel = psp_kernels::by_name(name).unwrap();
+        for (label, cfg) in [("seq", &seq_cfg), ("par", &par_cfg)] {
+            let res = pipeline_loop(&kernel.spec, cfg).expect("pipelines");
+            println!("{name}/{label} stats: {}", res.stats.to_json());
+            g.bench_with_input(BenchmarkId::new(label, name), &kernel, |b, kernel| {
+                b.iter(|| pipeline_loop(&kernel.spec, cfg).expect("pipelines"));
+            });
+        }
+    }
+    g.finish();
 }
 
 criterion_group!(benches, bench_scheduling);

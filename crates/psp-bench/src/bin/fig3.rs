@@ -88,9 +88,11 @@ fn main() {
                 // The paper's linkage rule, checked explicitly: successor
                 // matrix ⊇ left-shifted extended predecessor matrix.
                 for (succ, outcome) in [(on_true, true), (on_false, false)] {
-                    let extended = prog.blocks[b]
-                        .matrix
-                        .with(0, 1, psp_predicate::PredElem::from_bool(outcome));
+                    let extended = prog.blocks[b].matrix.with(
+                        0,
+                        1,
+                        psp_predicate::PredElem::from_bool(outcome),
+                    );
                     assert!(prog.blocks[succ.block]
                         .matrix
                         .subsumes(&extended.shifted(-1)));

@@ -62,14 +62,17 @@ fn main() {
         );
         // Sanity: the paper's claim — PSP at least matches local scheduling.
         assert!(
-            pspm.body_cycles <= measure(&kernel, &compile_local(&kernel.spec, &machine), &data)
-                .body_cycles
-                + golden.iterations / 8,
+            pspm.body_cycles
+                <= measure(&kernel, &compile_local(&kernel.spec, &machine), &data).body_cycles
+                    + golden.iterations / 8,
             "{}: psp regressed vs local",
             kernel.name
         );
         let _ = ii_string(&psp.program);
     }
     let g = geo.iter().map(|s| s.ln()).sum::<f64>() / geo.len() as f64;
-    println!("\nPSP geometric-mean speedup over sequential: {:.2}x", g.exp());
+    println!(
+        "\nPSP geometric-mean speedup over sequential: {:.2}x",
+        g.exp()
+    );
 }

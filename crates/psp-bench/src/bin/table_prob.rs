@@ -34,8 +34,7 @@ fn main() {
             let golden = run_reference(&kernel.spec, init, 1_000_000_000).unwrap();
             let profile = BranchProfile::from_run(&golden, kernel.spec.n_ifs);
 
-            let s = pipeline_loop(&kernel.spec, &PspConfig::with_machine(machine.clone()))
-                .unwrap();
+            let s = pipeline_loop(&kernel.spec, &PspConfig::with_machine(machine.clone())).unwrap();
             let sm = measure(&kernel, &s.program, &data);
 
             let cfg = PspConfig {
@@ -47,8 +46,7 @@ fn main() {
 
             let ems = modulo_schedule(&kernel.spec, &machine);
             ems.verify(&machine).unwrap();
-            let ems_ci = ems.estimated_cycles(golden.iterations) as f64
-                / golden.iterations as f64;
+            let ems_ci = ems.estimated_cycles(golden.iterations) as f64 / golden.iterations as f64;
 
             println!(
                 "{:>6.2} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>11.1}%",

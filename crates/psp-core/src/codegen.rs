@@ -60,6 +60,11 @@ pub enum CodegenError {
     /// The startup contract cannot be established by the preloop emulator
     /// (see `preloop`); the driver discards the candidate.
     PreloopUnsupported(&'static str),
+    /// An internal invariant of the generator did not hold. Reaching this
+    /// indicates a bug in a transformation or in the generator itself, but
+    /// it is reported as a typed error (the driver discards the candidate)
+    /// instead of unwinding through the public API.
+    Internal(&'static str),
 }
 
 impl fmt::Display for CodegenError {
@@ -81,6 +86,7 @@ impl fmt::Display for CodegenError {
             CodegenError::PreloopUnsupported(s) => {
                 write!(f, "preloop cannot establish the entry contract: {s}")
             }
+            CodegenError::Internal(s) => write!(f, "internal invariant violated: {s}"),
         }
     }
 }
@@ -123,11 +129,12 @@ enum DoneTerm {
     Back,
 }
 
-/// Generate executable code for a schedule.
-pub fn generate(sched: &Schedule, machine: &MachineConfig) -> Result<VliwLoop, CodegenError> {
+/// The predicates the steady state dispatches on at block entry: those a
+/// constrained instance needs from the *previous* iteration. Shared by
+/// [`generate`] and the driver's score lower bound, so both agree exactly
+/// on the entry fan-out (and on the failure modes that precede it).
+pub(crate) fn incoming_predicates(sched: &Schedule) -> Result<Vec<(u32, i32)>, CodegenError> {
     let iflog = sched.iflog();
-
-    // --- incoming predicates -------------------------------------------
     let mut incoming: Vec<(u32, i32)> = Vec::new();
     for inst in sched.instances() {
         for (r, c, _v) in inst.formal.constrained() {
@@ -150,6 +157,20 @@ pub fn generate(sched: &Schedule, machine: &MachineConfig) -> Result<VliwLoop, C
             return Err(CodegenError::DispatchUnsupported);
         }
     }
+    Ok(incoming)
+}
+
+/// Generate executable code for a schedule.
+pub fn generate(sched: &Schedule, machine: &MachineConfig) -> Result<VliwLoop, CodegenError> {
+    let incoming = incoming_predicates(sched)?;
+
+    // --- preloop -----------------------------------------------------------
+    // Establish the steady-state entry contract by reaching-definition
+    // analysis and emulation of the startup iterations (see `preloop`).
+    // Depends only on the schedule and the incoming predicates, so it runs
+    // *before* the exponential block walk: a schedule whose contract cannot
+    // be established is rejected at linear cost.
+    let (prologue, dispatch_map) = crate::preloop::build_preloop(sched, &incoming)?;
 
     // --- entry blocks ------------------------------------------------------
     let mut next_token: Token = 0;
@@ -162,7 +183,9 @@ pub fn generate(sched: &Schedule, machine: &MachineConfig) -> Result<VliwLoop, C
     for &(r, c) in &incoming {
         let mut next = Vec::with_capacity(entry_matrices.len() * 2);
         for m in entry_matrices {
-            let (f, t) = m.split(r, c).expect("entry split on fresh element");
+            let (f, t) = m.split(r, c).ok_or(CodegenError::Internal(
+                "entry split on a constrained element",
+            ))?;
             next.push(f);
             next.push(t);
         }
@@ -198,9 +221,11 @@ pub fn generate(sched: &Schedule, machine: &MachineConfig) -> Result<VliwLoop, C
                 op.guard = guard;
                 cycle.push(op);
                 let exec = match guard_pred {
-                    Some((r, c, v)) => block
-                        .matrix
-                        .with(r, c, psp_predicate::PredElem::from_bool(v)),
+                    Some((r, c, v)) => {
+                        block
+                            .matrix
+                            .with(r, c, psp_predicate::PredElem::from_bool(v))
+                    }
                     None => block.matrix.clone(),
                 };
                 block.placed.push((inst.clone(), guard, exec));
@@ -214,15 +239,16 @@ pub fn generate(sched: &Schedule, machine: &MachineConfig) -> Result<VliwLoop, C
                 continue;
             }
             // Block ends: fan out over the IFs placed in this row.
-            let splits: Vec<(psp_ir::CcReg, u32, i32)> = row_ifs
-                .iter()
-                .map(|i| match i.op.kind {
-                    psp_ir::OpKind::If { cc } => {
-                        (cc, i.computes_if.expect("IF computes a row"), i.index)
-                    }
-                    _ => unreachable!(),
-                })
-                .collect();
+            let mut splits: Vec<(psp_ir::CcReg, u32, i32)> = Vec::with_capacity(row_ifs.len());
+            for i in &row_ifs {
+                let psp_ir::OpKind::If { cc } = i.op.kind else {
+                    return Err(CodegenError::Internal("row_ifs holds a non-IF instance"));
+                };
+                let r = i.computes_if.ok_or(CodegenError::Internal(
+                    "IF instance computes no predicate row",
+                ))?;
+                splits.push((cc, r, i.index));
+            }
             let mut mats = vec![block.matrix.clone()];
             for &(_cc, r, c) in &splits {
                 let mut next = Vec::with_capacity(mats.len() * 2);
@@ -283,12 +309,21 @@ pub fn generate(sched: &Schedule, machine: &MachineConfig) -> Result<VliwLoop, C
         }
         id_of_token[d.token] = Some(id);
     }
-    let block_of = |t: Token| -> BlockId { id_of_token[t].expect("all tokens finished") };
+    let block_of = |t: Token| -> Result<BlockId, CodegenError> {
+        id_of_token
+            .get(t)
+            .copied()
+            .flatten()
+            .ok_or(CodegenError::Internal("block token was never finished"))
+    };
 
-    let entry_ids: Vec<BlockId> = entry_tokens.iter().map(|&t| block_of(t)).collect();
+    let entry_ids: Vec<BlockId> = entry_tokens
+        .iter()
+        .map(|&t| block_of(t))
+        .collect::<Result<_, _>>()?;
 
     for (di, d) in done.iter().enumerate() {
-        let my_id = block_of(done[di].token);
+        let my_id = block_of(done[di].token)?;
         match &d.term {
             DoneTerm::Back => {
                 let shifted = d.matrix.shifted(-1);
@@ -303,18 +338,13 @@ pub fn generate(sched: &Schedule, machine: &MachineConfig) -> Result<VliwLoop, C
                     children
                         .iter()
                         .find(|(cm, _)| cm == m)
-                        .map(|&(_, t)| block_of(t))
+                        .and_then(|&(_, t)| block_of(t).ok())
                 };
                 let term = build_dispatch(&mut blocks, &d.matrix, splits, &lookup)?;
                 blocks[my_id].term = term;
             }
         }
     }
-
-    // --- preloop -----------------------------------------------------------
-    // Establish the steady-state entry contract by reaching-definition
-    // analysis and emulation of the startup iterations (see `preloop`).
-    let (prologue, dispatch_map) = crate::preloop::build_preloop(sched, &incoming)?;
 
     // --- entry dispatch ------------------------------------------------------
     let entry = if incoming.is_empty() {
@@ -425,9 +455,10 @@ fn guard_for(
             .iter()
             .find(|i| i.computes_if == Some(r) && i.index == c);
         if let Some(ifinst) = same_row_if {
-            let cc = match ifinst.op.kind {
-                psp_ir::OpKind::If { cc } => cc,
-                _ => unreachable!(),
+            let psp_ir::OpKind::If { cc } = ifinst.op.kind else {
+                return Err(CodegenError::Internal(
+                    "computes_if set on a non-IF instance",
+                ));
             };
             if guard.is_some() {
                 return Err(CodegenError::MultiGuard);
@@ -567,8 +598,7 @@ mod tests {
     fn initial_schedule_generates_sequential_equivalent() {
         for kernel in psp_kernels::all_kernels() {
             let sched = Schedule::initial(&kernel.spec);
-            let prog =
-                generate(&sched, &m()).unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            let prog = generate(&sched, &m()).unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
             for seed in 0..3u64 {
                 let data = KernelData::random(seed + 5, 29);
                 let init = kernel.initial_state(&data);

@@ -13,23 +13,18 @@
 
 use crate::instance::InstId;
 use crate::schedule::Schedule;
-use crate::transform::{moveup_ext, prune_stalls, MovePolicy};
+use crate::transform::{moveup_earliest, prune_stalls, MovePolicy};
 use psp_machine::MachineConfig;
 
-/// One sweep over all instances, attempting the earliest feasible row for
-/// each. Returns the number of moves.
+/// One sweep over all instances, moving each to the earliest feasible row
+/// (one incremental plan per instance rather than a re-plan per candidate
+/// target). Returns the number of moves.
 fn sweep(sched: &mut Schedule, machine: &MachineConfig, policy: MovePolicy) -> usize {
     let mut moves = 0;
     let ids: Vec<InstId> = sched.instances().map(|i| i.id).collect();
     for id in ids {
-        let Some((cur, _)) = sched.find(id) else {
-            continue;
-        };
-        for target in 0..cur {
-            if moveup_ext(sched, id, target, machine, policy).is_ok() {
-                moves += 1;
-                break;
-            }
+        if moveup_earliest(sched, id, machine, policy).is_ok() {
+            moves += 1;
         }
     }
     moves

@@ -263,9 +263,7 @@ pub fn check_pair(
                 // Speculative execution writes x's destination on paths
                 // outside its formal set; renaming confines the effect.
                 match rename_permission(x, live_out) {
-                    Permission::WithFixes(_) => {
-                        Permission::WithFixes(vec![Fix::SpeculateRename])
-                    }
+                    Permission::WithFixes(_) => Permission::WithFixes(vec![Fix::SpeculateRename]),
                     Permission::Yes => Permission::WithFixes(vec![Fix::SpeculateRename]),
                     no => no,
                 }
@@ -291,8 +289,7 @@ pub fn check_pair(
             // conservatively); derive from y/x themselves is impossible
             // here, so use the conservative "unknown" unless the addresses
             // match syntactically.
-            let alias = ax.may_alias(&ay, delta, |_| None)
-                || ax.may_alias(&ay, delta, |_| Some(0));
+            let alias = ax.may_alias(&ay, delta, |_| None) || ax.may_alias(&ay, delta, |_| Some(0));
             if alias {
                 let perm = match (ay.kind, ax.kind) {
                     (AccessKind::Write, AccessKind::Read) if !x_first => PairCheck {
@@ -464,10 +461,7 @@ mod tests {
         let y = inst(add(Reg(0), Reg(0), 1i64), 5); // k = k + 1
         let x = inst(load(Reg(2), ArrayId(0), Reg(0)), 6);
         let c = check_pair(&x, &y, &[], &m());
-        assert_eq!(
-            c.above,
-            Permission::WithFixes(vec![Fix::CombineDisp(1)])
-        );
+        assert_eq!(c.above, Permission::WithFixes(vec![Fix::CombineDisp(1)]));
         // A non-memory consumer cannot combine.
         let x2 = inst(cmp(CmpOp::Ge, CcReg(1), Reg(0), Reg(3)), 6);
         let c2 = check_pair(&x2, &y, &[], &m());
@@ -594,7 +588,10 @@ mod tests {
         assert!(!c.same.allowed());
         // Scratch op passes freely.
         let scratch = inst(copy(Reg(6), Reg(1)), 4);
-        assert_eq!(check_pair(&scratch, &brk, &live_out, &m()), PairCheck::free());
+        assert_eq!(
+            check_pair(&scratch, &brk, &live_out, &m()),
+            PairCheck::free()
+        );
         // Break moving up to an observable that precedes it in program
         // order: same cycle ok, above not.
         let obs_before = inst(store(ArrayId(0), Reg(0), Reg(1)), 2);

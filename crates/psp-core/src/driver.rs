@@ -6,15 +6,31 @@
 //! compact + code generation + score), applies the best strictly-improving
 //! one, and repeats. There is no backtracking: a candidate that fails to
 //! improve — or whose code generation fails — is simply discarded.
+//!
+//! Candidate trials within a step are independent, so they are evaluated
+//! **in parallel** (see [`PspConfig::threads`]) with a deterministic
+//! index-ordered reduction: transformation counts, final IIs, and generated
+//! code are bit-identical to the sequential driver regardless of thread
+//! count. Because candidate evaluation is dominated by code generation —
+//! whose block count is exponential in the number of live IFs — repeated
+//! identical trials are also **memoized** by a schedule fingerprint
+//! ([`PspConfig::enable_memo`]), and every phase is **instrumented**
+//! ([`PspStats`]: per-phase wall-clock, transformation counters, cache
+//! hit/miss counters, JSON dump).
 
 use crate::codegen::{generate, CodegenError};
 use crate::compact::compact_ext;
-use crate::heuristics::{score, BranchProbs, Score};
+use crate::heuristics::{score_program, BranchProbs, Score};
 use crate::instance::InstId;
 use crate::schedule::Schedule;
 use crate::transform::{self, split_candidates, Transformation};
 use psp_ir::LoopSpec;
 use psp_machine::{MachineConfig, VliwLoop};
+use psp_predicate::PredicateMatrix;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Configuration of the PSP pipeliner.
 #[derive(Debug, Clone)]
@@ -35,6 +51,30 @@ pub struct PspConfig {
     /// Optional branch profile for the §4 probability-driven heuristics;
     /// `None` selects the static (worst-path) objective.
     pub probs: Option<BranchProbs>,
+    /// Worker threads for candidate evaluation: `1` forces the sequential
+    /// path, `0` uses all available parallelism, any other value caps the
+    /// pool. The reduction is deterministic (best score, ties broken by
+    /// candidate index), so results are bit-identical for every setting.
+    pub threads: usize,
+    /// Memoize code generation + scoring by schedule fingerprint
+    /// ([`Schedule::fingerprint`]). Candidate trials that reproduce an
+    /// already-evaluated schedule skip the exponential code-generation
+    /// step; hit/miss telemetry lands in [`PspStats`]. Never changes
+    /// results — only how often codegen actually runs.
+    pub enable_memo: bool,
+    /// Discard candidate trials by a sound score lower bound before code
+    /// generation (branch-and-bound admission). A trial's `rows` and
+    /// `instances` are exact after compaction, and under the static
+    /// objective the maximal II itself is computed exactly from the
+    /// schedule without generating code (`max_steady_path_cycles`; the
+    /// expected-II objective falls back to a universe-row lower bound).
+    /// Trials that cannot strictly beat the current score are discarded
+    /// before codegen; trials with an exactly-known score defer codegen
+    /// until the reduction picks them as the step winner. The chosen
+    /// candidate is provably identical to the exhaustive scan
+    /// ([`PspStats::counters`] stays bit-identical; only wall-clock and
+    /// the `pruned` counter change).
+    pub enable_prune: bool,
 }
 
 impl Default for PspConfig {
@@ -46,6 +86,9 @@ impl Default for PspConfig {
             enable_split: true,
             enable_rename: true,
             probs: None,
+            threads: 0,
+            enable_memo: true,
+            enable_prune: true,
         }
     }
 }
@@ -58,10 +101,53 @@ impl PspConfig {
             ..Self::default()
         }
     }
+
+    /// The reference configuration for cross-checking: single-threaded,
+    /// no memo, no pruning — the exact shape of the original sequential
+    /// driver, which exhaustively code-generates every candidate trial.
+    pub fn sequential(mut self) -> Self {
+        self.threads = 1;
+        self.enable_memo = false;
+        self.enable_prune = false;
+        self
+    }
+}
+
+/// Cumulative wall-clock spent in each phase of the pipeliner. In parallel
+/// runs the per-trial phases (apply, compact, codegen, score) are summed
+/// across worker threads, so they measure aggregate work and can exceed
+/// `total` (which is elapsed wall-clock of the whole run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Candidate generation (wraps, unifies, split discovery).
+    pub candidate_gen: Duration,
+    /// Schedule cloning + transformation application.
+    pub apply: Duration,
+    /// Compaction (moveup to fixpoint).
+    pub compact: Duration,
+    /// Loop code generation (the exponential phase).
+    pub codegen: Duration,
+    /// Scoring of generated programs (II extraction / expected II).
+    pub score: Duration,
+    /// Whole-run elapsed wall-clock.
+    pub total: Duration,
+}
+
+impl PhaseTimes {
+    fn absorb(&mut self, other: &PhaseTimes) {
+        self.candidate_gen += other.candidate_gen;
+        self.apply += other.apply;
+        self.compact += other.compact;
+        self.codegen += other.codegen;
+        self.score += other.score;
+        // `total` is set once by the driver, not summed.
+    }
 }
 
 /// Statistics of one pipelining run (the paper's "acceptable cost" claim is
-/// measured from these).
+/// measured from these). Counters are deterministic; timers and — under
+/// parallel evaluation — cache telemetry vary run to run, so cross-run
+/// comparisons should use [`PspStats::counters`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PspStats {
     /// Moveups applied by compaction.
@@ -70,10 +156,66 @@ pub struct PspStats {
     pub wraps: usize,
     /// Splits applied.
     pub splits: usize,
-    /// Candidates evaluated (each evaluation = clone + compact + codegen).
+    /// Candidates evaluated (each evaluation = clone + compact + codegen,
+    /// unless the memo short-circuits the codegen).
     pub candidates: usize,
     /// Improvement rounds taken.
     pub rounds: usize,
+    /// Candidate trials answered from the codegen/score memo.
+    pub cache_hits: usize,
+    /// Candidate trials that ran code generation and populated the memo.
+    pub cache_misses: usize,
+    /// Candidate trials that never ran code generation: rejected by the
+    /// score lower bound, or exactly scored from the schedule but out-ranked
+    /// by the step winner (see [`PspConfig::enable_prune`]). Deterministic,
+    /// but configuration-dependent: the exhaustive reference prunes nothing.
+    pub pruned: usize,
+    /// Per-phase wall-clock.
+    pub times: PhaseTimes,
+}
+
+impl PspStats {
+    /// The deterministic counters: `[moves, wraps, splits, candidates,
+    /// rounds]`. Bit-identical across thread counts and memo settings;
+    /// excludes timers and cache telemetry (two concurrent identical
+    /// trials may both miss, so hit counts can vary under parallelism).
+    pub fn counters(&self) -> [usize; 5] {
+        [
+            self.moves,
+            self.wraps,
+            self.splits,
+            self.candidates,
+            self.rounds,
+        ]
+    }
+
+    /// Machine-readable dump (hand-rolled JSON; the build container has no
+    /// crates.io access, so `serde` is unavailable — the format is stable
+    /// and documented in README.md). Times are microseconds.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"moves\":{},\"wraps\":{},\"splits\":{},\"candidates\":{},",
+                "\"rounds\":{},\"cache_hits\":{},\"cache_misses\":{},\"pruned\":{},",
+                "\"times_us\":{{\"candidate_gen\":{},\"apply\":{},",
+                "\"compact\":{},\"codegen\":{},\"score\":{},\"total\":{}}}}}"
+            ),
+            self.moves,
+            self.wraps,
+            self.splits,
+            self.candidates,
+            self.rounds,
+            self.cache_hits,
+            self.cache_misses,
+            self.pruned,
+            self.times.candidate_gen.as_micros(),
+            self.times.apply.as_micros(),
+            self.times.compact.as_micros(),
+            self.times.codegen.as_micros(),
+            self.times.score.as_micros(),
+            self.times.total.as_micros(),
+        )
+    }
 }
 
 /// Result of pipelining one loop.
@@ -89,6 +231,298 @@ pub struct PspResult {
     pub score: Score,
 }
 
+/// The codegen/score memo: schedule fingerprint → scoring outcome (`None`
+/// records a codegen failure, which is just as expensive to rediscover).
+type Memo = Mutex<HashMap<String, Option<(Score, VliwLoop)>>>;
+
+/// Outcome of one candidate trial.
+struct Trial {
+    t: Transformation,
+    /// Moveups compaction applied to this trial (counted into stats only
+    /// if the trial is chosen, matching the sequential driver).
+    moves: usize,
+    /// The compacted trial schedule; `None` when `apply` rejected it.
+    sched: Option<Schedule>,
+    scored: Option<(Score, VliwLoop)>,
+    /// The exact score of this trial, known without generating code (see
+    /// [`max_steady_path_cycles`]). Code generation is deferred until the
+    /// reduction picks this trial as the step winner.
+    bound: Option<Score>,
+    times: PhaseTimes,
+    cache_hit: bool,
+    cache_miss: bool,
+    /// Discarded by the score lower bound without running codegen.
+    pruned: bool,
+}
+
+impl Trial {
+    /// The score this trial competes with in the reduction: the generated
+    /// program's when available, the (exact) deferred bound otherwise.
+    fn competing_score(&self) -> Option<&Score> {
+        self.scored.as_ref().map(|(s, _)| s).or(self.bound.as_ref())
+    }
+}
+
+/// Abort the path enumeration in [`max_steady_path_cycles`] past this many
+/// concurrent chains; the caller falls back to a weaker bound. Code
+/// generation enumerates exactly the same chains as blocks but does an
+/// order of magnitude more work per block (instance placement, conflict
+/// validation, per-child deep clones), so the cap can sit well above any
+/// block count codegen itself could digest.
+const MAX_BOUND_CHAINS: usize = 1 << 18;
+
+/// The maximal steady-state-path II of any successful code generation of
+/// `sched`, computed without generating code.
+///
+/// Replays exactly the generator's block-matrix evolution — the universe
+/// split on every incoming predicate at entry, one cycle per row holding a
+/// compatible instance, a fan-out on every compatible IF of a row, a back
+/// edge resolved by matching the `shifted(-1)` final matrix against the
+/// entry matrices — but tracks only (matrix, cycle count) per chain:
+/// no instance placement, guard assignment, or conflict validation. The
+/// generator enumerates every *syntactic* outcome combination and wires
+/// every entry block from the first-iteration dispatch, so each enumerated
+/// chain exists verbatim in the generated program; a chain is a steady-state
+/// path iff its entry receives some back edge, so the maximum over those
+/// chains is exactly `ii_range().1` (empty-block cleanup only rewires
+/// zero-cycle blocks and cannot change any chain's cycle count).
+///
+/// `None` when code generation would fail before the walk diverges from it
+/// (unresolved or colliding incoming predicates, a constrained entry split,
+/// an IF computing no predicate row, a chain with no back-edge target) or
+/// when the enumeration exceeds [`MAX_BOUND_CHAINS`].
+fn max_steady_path_cycles(sched: &Schedule) -> Option<usize> {
+    let incoming = crate::codegen::incoming_predicates(sched).ok()?;
+    let mut entries = vec![PredicateMatrix::universe()];
+    for &(r, c) in &incoming {
+        let mut next = Vec::with_capacity(entries.len() * 2);
+        for m in entries {
+            let (f, t) = m.split(r, c)?;
+            next.push(f);
+            next.push(t);
+        }
+        entries = next;
+    }
+
+    // (entry index, current matrix, non-empty cycles so far) per open chain.
+    let mut chains: Vec<(usize, PredicateMatrix, usize)> = entries
+        .iter()
+        .enumerate()
+        .map(|(e, m)| (e, m.clone(), 0))
+        .collect();
+    for row in &sched.rows {
+        let mut next = Vec::with_capacity(chains.len());
+        for (e, m, mut cycles) in chains {
+            if row.iter().any(|i| !i.formal.is_disjoint(&m)) {
+                cycles += 1;
+            }
+            let mut splits = Vec::new();
+            for i in row {
+                if i.op.is_if() && !i.formal.is_disjoint(&m) {
+                    splits.push((i.computes_if?, i.index));
+                }
+            }
+            let mut mats = vec![m];
+            for &(r, c) in &splits {
+                let mut nx = Vec::with_capacity(mats.len() * 2);
+                for mm in mats {
+                    match mm.split(r, c) {
+                        Some((f, t)) => {
+                            nx.push(f);
+                            nx.push(t);
+                        }
+                        // Outcome already known on these paths: one child.
+                        None => nx.push(mm),
+                    }
+                }
+                mats = nx;
+            }
+            for mm in mats {
+                next.push((e, mm, cycles));
+            }
+        }
+        if next.len() > MAX_BOUND_CHAINS {
+            return None;
+        }
+        chains = next;
+    }
+
+    // A chain is a steady-state path iff its entry is some chain's
+    // back-edge target.
+    let mut is_steady = vec![false; entries.len()];
+    let mut finals = Vec::with_capacity(chains.len());
+    for (e, m, cycles) in chains {
+        let shifted = m.shifted(-1);
+        let target = entries.iter().position(|x| x.subsumes(&shifted))?;
+        is_steady[target] = true;
+        finals.push((e, cycles));
+    }
+    finals
+        .into_iter()
+        .filter(|&(e, _)| is_steady[e])
+        .map(|(_, cycles)| cycles)
+        .max()
+}
+
+/// A lower bound on the primary score that holds for *every* objective: a
+/// row holding a universe-predicate instance emits a non-empty cycle on
+/// every steady-state path, so the count of such rows bounds each path's
+/// II — and hence both the maximal and the expected II — from below.
+fn universe_row_bound(sched: &Schedule) -> usize {
+    sched
+        .rows
+        .iter()
+        .filter(|row| row.iter().any(|i| i.formal.is_universe()))
+        .count()
+}
+
+/// Generate + score `sched`, consulting the memo when enabled.
+fn score_cached(
+    sched: &Schedule,
+    cfg: &PspConfig,
+    memo: Option<&Memo>,
+    times: &mut PhaseTimes,
+) -> (Option<(Score, VliwLoop)>, bool, bool) {
+    let key = memo.map(|_| sched.fingerprint());
+    if let (Some(memo), Some(key)) = (memo, key.as_ref()) {
+        if let Some(cached) = memo.lock().expect("memo lock").get(key) {
+            return (cached.clone(), true, false);
+        }
+    }
+    let t0 = Instant::now();
+    let prog = generate(sched, &cfg.machine).ok();
+    times.codegen += t0.elapsed();
+    let t1 = Instant::now();
+    let scored = prog.map(|p| (score_program(&p, sched, cfg.probs.as_ref()), p));
+    times.score += t1.elapsed();
+    let miss = if let (Some(memo), Some(key)) = (memo, key) {
+        memo.lock().expect("memo lock").insert(key, scored.clone());
+        true
+    } else {
+        false
+    };
+    (scored, false, miss)
+}
+
+/// Evaluate one candidate transformation on a clone of `sched`. `cur` is
+/// the score a chosen candidate must strictly beat; when pruning is on, a
+/// trial whose best-possible score cannot beat it is discarded before the
+/// exponential code-generation step.
+fn eval_candidate(
+    sched: &Schedule,
+    t: Transformation,
+    cfg: &PspConfig,
+    memo: Option<&Memo>,
+    cur: Option<&Score>,
+) -> Trial {
+    let mut times = PhaseTimes::default();
+    let t0 = Instant::now();
+    let mut trial = sched.clone();
+    let applied = transform::apply(&mut trial, &t, &cfg.machine).is_ok();
+    times.apply += t0.elapsed();
+    if !applied {
+        return Trial {
+            t,
+            moves: 0,
+            sched: None,
+            scored: None,
+            bound: None,
+            times,
+            cache_hit: false,
+            cache_miss: false,
+            pruned: false,
+        };
+    }
+    let t1 = Instant::now();
+    let moves = compact_ext(&mut trial, &cfg.machine, cfg.enable_rename);
+    times.compact += t1.elapsed();
+    if cfg.enable_prune {
+        let t2 = Instant::now();
+        let exact = if cfg.probs.is_none() {
+            max_steady_path_cycles(&trial)
+        } else {
+            None
+        };
+        times.score += t2.elapsed();
+        let primary = exact.unwrap_or_else(|| universe_row_bound(&trial)) as f64;
+        let potential = Score {
+            primary,
+            rows: trial.n_rows(),
+            instances: trial.n_instances(),
+        };
+        // The bound only depends on the step-entry score, never on the
+        // other trials, so pruning is order-independent (deterministic
+        // under any thread count).
+        if let Some(cur) = cur {
+            if !potential.better_than(cur) {
+                return Trial {
+                    t,
+                    moves,
+                    sched: Some(trial),
+                    scored: None,
+                    bound: None,
+                    times,
+                    cache_hit: false,
+                    cache_miss: false,
+                    pruned: true,
+                };
+            }
+        }
+        if exact.is_some() {
+            // The exact score is known without generating code: defer the
+            // exponential codegen to the reduction, which runs it only for
+            // the trial that wins the step.
+            return Trial {
+                t,
+                moves,
+                sched: Some(trial),
+                scored: None,
+                bound: Some(potential),
+                times,
+                cache_hit: false,
+                cache_miss: false,
+                pruned: false,
+            };
+        }
+    }
+    let (scored, cache_hit, cache_miss) = score_cached(&trial, cfg, memo, &mut times);
+    Trial {
+        t,
+        moves,
+        sched: Some(trial),
+        scored,
+        bound: None,
+        times,
+        cache_hit,
+        cache_miss,
+        pruned: false,
+    }
+}
+
+/// Evaluate all candidates of one step — concurrently unless
+/// [`PspConfig::threads`] is `1`. Trials return in candidate order either
+/// way, so the reduction below is deterministic.
+fn evaluate_candidates(
+    sched: &Schedule,
+    candidates: Vec<Transformation>,
+    cfg: &PspConfig,
+    memo: Option<&Memo>,
+    cur: Option<&Score>,
+) -> Vec<Trial> {
+    if cfg.threads == 1 || candidates.len() <= 1 {
+        candidates
+            .into_iter()
+            .map(|t| eval_candidate(sched, t, cfg, memo, cur))
+            .collect()
+    } else {
+        candidates
+            .into_par_iter()
+            .with_threads(cfg.threads)
+            .map(|t| eval_candidate(sched, t, cfg, memo, cur))
+            .collect()
+    }
+}
+
 /// Pipeline a loop with the PSP technique.
 ///
 /// Phase A compacts the initial schedule (reproducing local scheduling
@@ -99,17 +533,32 @@ pub struct PspResult {
 /// [`PspConfig::max_depth`]. Phase C greedily applies strictly improving
 /// split / wrap candidates until fixpoint.
 pub fn pipeline_loop(spec: &LoopSpec, cfg: &PspConfig) -> Result<PspResult, CodegenError> {
+    let t_total = Instant::now();
     let mut stats = PspStats::default();
-    let mut sched = Schedule::initial(spec);
-    stats.moves += compact_ext(&mut sched, &cfg.machine, cfg.enable_rename);
+    let memo: Option<Memo> = if cfg.enable_memo {
+        Some(Mutex::new(HashMap::new()))
+    } else {
+        None
+    };
+    let memo = memo.as_ref();
 
-    let (s0, p0) = match score(&sched, &cfg.machine, cfg.probs.as_ref()) {
+    let mut sched = Schedule::initial(spec);
+    let t0 = Instant::now();
+    stats.moves += compact_ext(&mut sched, &cfg.machine, cfg.enable_rename);
+    stats.times.compact += t0.elapsed();
+
+    let (initial_scored, hit, miss) = score_cached(&sched, cfg, memo, &mut stats.times);
+    stats.cache_hits += hit as usize;
+    stats.cache_misses += miss as usize;
+    let (s0, p0) = match initial_scored {
         Some(x) => x,
         None => {
             // The compacted schedule should always be generatable; fall
             // back to the raw initial schedule if a corner case breaks it.
             sched = Schedule::initial(spec);
+            let t1 = Instant::now();
             let prog = generate(&sched, &cfg.machine)?;
+            stats.times.codegen += t1.elapsed();
             let primary = prog.ii_range().map(|(_, m)| m as f64).unwrap_or(0.0);
             (
                 Score {
@@ -129,34 +578,77 @@ pub fn pipeline_loop(spec: &LoopSpec, cfg: &PspConfig) -> Result<PspResult, Code
 
     for _depth in 0..cfg.max_depth {
         // Refinement: strictly improving split/wrap steps on the current
-        // schedule.
+        // schedule, each step's trials evaluated in parallel.
         for _step in 0..cfg.max_steps {
+            let t1 = Instant::now();
             let candidates = generate_candidates(&sched, cfg);
-            let mut round_best: Option<(Transformation, Score, Schedule, VliwLoop, usize)> =
-                None;
-            for t in candidates {
-                stats.candidates += 1;
-                let mut trial = sched.clone();
-                if transform::apply(&mut trial, &t, &cfg.machine).is_err() {
-                    continue;
-                }
-                let moves = compact_ext(&mut trial, &cfg.machine, cfg.enable_rename);
-                let Some((s, prog)) = score(&trial, &cfg.machine, cfg.probs.as_ref()) else {
-                    continue;
-                };
-                let improves_current = match &cur_score {
-                    Some(c) => s.better_than(c),
-                    None => true,
-                };
-                if improves_current
-                    && round_best
-                        .as_ref()
-                        .map(|(_, bs, ..)| s.better_than(bs))
-                        .unwrap_or(true)
-                {
-                    round_best = Some((t, s, trial, prog, moves));
-                }
+            stats.times.candidate_gen += t1.elapsed();
+            stats.candidates += candidates.len();
+
+            let mut trials = evaluate_candidates(&sched, candidates, cfg, memo, cur_score.as_ref());
+            for trial in &trials {
+                stats.times.absorb(&trial.times);
+                stats.cache_hits += trial.cache_hit as usize;
+                stats.cache_misses += trial.cache_miss as usize;
+                stats.pruned += trial.pruned as usize;
             }
+
+            // Deterministic reduction: first strict improvement in
+            // candidate order wins ties, exactly like the sequential scan.
+            // Deferred trials compete with their bound score — which equals
+            // the score their generated program would get — so the scan
+            // picks the same winner as the exhaustive sequential pass. The
+            // winner's code is then generated; if that fails (a placement-
+            // level failure the bound cannot rule out), the trial is
+            // discarded exactly as the sequential scan would have
+            // discarded it, and the scan repeats without it.
+            let round_best: Option<(Transformation, Score, Schedule, VliwLoop, usize)> = loop {
+                let mut best: Option<usize> = None;
+                for (i, trial) in trials.iter().enumerate() {
+                    let Some(s) = trial.competing_score() else {
+                        continue;
+                    };
+                    let improves_current = match &cur_score {
+                        Some(c) => s.better_than(c),
+                        None => true,
+                    };
+                    if improves_current
+                        && best
+                            .map(|b| s.better_than(trials[b].competing_score().unwrap()))
+                            .unwrap_or(true)
+                    {
+                        best = Some(i);
+                    }
+                }
+                let Some(i) = best else { break None };
+                if trials[i].scored.is_none() {
+                    let (scored, hit, miss) = score_cached(
+                        trials[i].sched.as_ref().expect("deferred trial applied"),
+                        cfg,
+                        memo,
+                        &mut stats.times,
+                    );
+                    stats.cache_hits += hit as usize;
+                    stats.cache_misses += miss as usize;
+                    match scored {
+                        Some(sp) => trials[i].scored = Some(sp),
+                        None => {
+                            trials[i].bound = None;
+                            continue;
+                        }
+                    }
+                }
+                let trial = trials.swap_remove(i);
+                // Deferred losers never ran the exponential codegen either.
+                stats.pruned += trials
+                    .iter()
+                    .filter(|t| t.bound.is_some() && t.scored.is_none())
+                    .count();
+                let (Some((s, prog)), Some(trial_sched)) = (trial.scored, trial.sched) else {
+                    unreachable!("winner was scored above");
+                };
+                break Some((trial.t, s, trial_sched, prog, trial.moves));
+            };
             match round_best {
                 Some((t, s, trial, prog, moves)) => {
                     match &t {
@@ -183,18 +675,25 @@ pub fn pipeline_loop(spec: &LoopSpec, cfg: &PspConfig) -> Result<PspResult, Code
             .map(|r| r.iter().map(|i| i.id).collect())
             .unwrap_or_default();
         let mut wrapped = 0;
+        let t2 = Instant::now();
         for id in row0 {
             if transform::wrap_up(&mut sched, id, &cfg.machine).is_ok() {
                 wrapped += 1;
             }
         }
+        stats.times.apply += t2.elapsed();
         if wrapped == 0 {
             break;
         }
         stats.wraps += wrapped;
         stats.rounds += 1;
+        let t3 = Instant::now();
         stats.moves += compact_ext(&mut sched, &cfg.machine, cfg.enable_rename);
-        match score(&sched, &cfg.machine, cfg.probs.as_ref()) {
+        stats.times.compact += t3.elapsed();
+        let (scored, hit, miss) = score_cached(&sched, cfg, memo, &mut stats.times);
+        stats.cache_hits += hit as usize;
+        stats.cache_misses += miss as usize;
+        match scored {
             Some((s, prog)) => {
                 stats.candidates += 1;
                 if s.better_than(&best.0) {
@@ -208,6 +707,7 @@ pub fn pipeline_loop(spec: &LoopSpec, cfg: &PspConfig) -> Result<PspResult, Code
         }
     }
 
+    stats.times.total = t_total.elapsed();
     Ok(PspResult {
         schedule: best.1,
         program: best.2,
@@ -299,9 +799,8 @@ mod tests {
         for (seed, len) in [(1u64, 1usize), (2, 2), (3, 7), (4, 64), (5, 257)] {
             let data = KernelData::random(seed, len);
             let init = kernel.initial_state(&data);
-            let (_, run) =
-                check_equivalence(&kernel.spec, &res.program, &init, 10_000_000)
-                    .unwrap_or_else(|e| panic!("len {len}: {e}\n{}", res.program));
+            let (_, run) = check_equivalence(&kernel.spec, &res.program, &init, 10_000_000)
+                .unwrap_or_else(|e| panic!("len {len}: {e}\n{}", res.program));
             kernel.check(&run.state, &data).unwrap();
         }
     }
@@ -315,11 +814,8 @@ mod tests {
             for (seed, len) in [(11u64, 1usize), (12, 5), (13, 33)] {
                 let data = KernelData::random(seed, len);
                 let init = kernel.initial_state(&data);
-                let (_, run) =
-                    check_equivalence(&kernel.spec, &res.program, &init, 10_000_000)
-                        .unwrap_or_else(|e| {
-                            panic!("{} len {len}: {e}\n{}", kernel.name, res.program)
-                        });
+                let (_, run) = check_equivalence(&kernel.spec, &res.program, &init, 10_000_000)
+                    .unwrap_or_else(|e| panic!("{} len {len}: {e}\n{}", kernel.name, res.program));
                 kernel.check(&run.state, &data).unwrap();
             }
         }
@@ -330,14 +826,12 @@ mod tests {
         let cfg = PspConfig::default();
         for kernel in all_kernels() {
             let res = pipeline_loop(&kernel.spec, &cfg).unwrap();
-            let local =
-                psp_baselines::compile_local(&kernel.spec, &cfg.machine);
+            let local = psp_baselines::compile_local(&kernel.spec, &cfg.machine);
             let data = KernelData::random(42, 128);
             let init = kernel.initial_state(&data);
             let (_, psp_run) =
                 check_equivalence(&kernel.spec, &res.program, &init, 10_000_000).unwrap();
-            let (_, loc_run) =
-                check_equivalence(&kernel.spec, &local, &init, 10_000_000).unwrap();
+            let (_, loc_run) = check_equivalence(&kernel.spec, &local, &init, 10_000_000).unwrap();
             assert!(
                 psp_run.body_cycles <= loc_run.body_cycles + loc_run.iterations / 8,
                 "{}: psp {} vs local {}",
@@ -355,6 +849,47 @@ mod tests {
         assert!(res.stats.moves > 0);
         assert!(res.stats.candidates > 0);
         assert!(res.stats.rounds > 0);
+        assert!(res.stats.times.total > Duration::ZERO);
+        assert!(res.stats.times.codegen > Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_json_is_machine_readable() {
+        let kernel = by_name("vecmin").unwrap();
+        let res = pipeline_loop(&kernel.spec, &PspConfig::default()).unwrap();
+        let json = res.stats.to_json();
+        // Shape checks (no JSON parser in the offline container): balanced
+        // braces, all keys present, numeric values.
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"moves\":",
+            "\"wraps\":",
+            "\"splits\":",
+            "\"candidates\":",
+            "\"rounds\":",
+            "\"cache_hits\":",
+            "\"cache_misses\":",
+            "\"times_us\":",
+            "\"candidate_gen\":",
+            "\"codegen\":",
+            "\"total\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn memo_hits_on_repeated_trials() {
+        let kernel = by_name("vecmin").unwrap();
+        let res = pipeline_loop(&kernel.spec, &PspConfig::default()).unwrap();
+        assert!(
+            res.stats.cache_hits + res.stats.cache_misses > 0,
+            "memo telemetry not populated"
+        );
+        let seq = pipeline_loop(&kernel.spec, &PspConfig::default().sequential()).unwrap();
+        assert_eq!(seq.stats.cache_hits, 0, "memo disabled must never hit");
+        assert_eq!(seq.stats.cache_misses, 0);
     }
 
     #[test]
@@ -367,8 +902,7 @@ mod tests {
         let res = pipeline_loop(&kernel.spec, &cfg).unwrap();
         let data = KernelData::random(7, 50).with_taken_fraction(0.1);
         let init = kernel.initial_state(&data);
-        let (_, run) =
-            check_equivalence(&kernel.spec, &res.program, &init, 10_000_000).unwrap();
+        let (_, run) = check_equivalence(&kernel.spec, &res.program, &init, 10_000_000).unwrap();
         kernel.check(&run.state, &data).unwrap();
     }
 }

@@ -52,9 +52,7 @@ fn path_probability(prog: &VliwLoop, blocks: &[usize], probs: &[f64]) -> f64 {
             None => return 0.0,
         }
     }
-    PathSet::from_matrix(m).probability(|row, _| {
-        probs.get(row as usize).copied().unwrap_or(0.5)
-    })
+    PathSet::from_matrix(m).probability(|row, _| probs.get(row as usize).copied().unwrap_or(0.5))
 }
 
 /// Expected steady-state II of a generated loop under a branch profile.
@@ -78,6 +76,21 @@ pub fn expected_ii(prog: &VliwLoop, probs: &[f64]) -> f64 {
     }
 }
 
+/// Score an already-generated loop against the schedule it came from.
+/// Split out of [`score`] so the driver can memoize code generation and
+/// score cached programs without regenerating them.
+pub fn score_program(prog: &VliwLoop, sched: &Schedule, probs: Option<&BranchProbs>) -> Score {
+    let primary = match probs {
+        Some(p) => expected_ii(prog, p),
+        None => prog.ii_range().map(|(_, max)| max as f64).unwrap_or(0.0),
+    };
+    Score {
+        primary,
+        rows: sched.n_rows(),
+        instances: sched.n_instances(),
+    }
+}
+
 /// Score a schedule by generating code for it. `None` when code generation
 /// fails (the candidate that produced this schedule must be discarded).
 pub fn score(
@@ -86,18 +99,8 @@ pub fn score(
     probs: Option<&BranchProbs>,
 ) -> Option<(Score, VliwLoop)> {
     let prog = generate(sched, machine).ok()?;
-    let primary = match probs {
-        Some(p) => expected_ii(&prog, p),
-        None => prog.ii_range().map(|(_, max)| max as f64).unwrap_or(0.0),
-    };
-    Some((
-        Score {
-            primary,
-            rows: sched.n_rows(),
-            instances: sched.n_instances(),
-        },
-        prog,
-    ))
+    let s = score_program(&prog, sched, probs);
+    Some((s, prog))
 }
 
 #[cfg(test)]

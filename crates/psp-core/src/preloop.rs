@@ -92,10 +92,7 @@ pub fn build_preloop(
     // initial value (no emission).
     let mut needed: BTreeMap<(i32, usize), Vec<RegRef>> = BTreeMap::new();
     for &r in &entry_live {
-        let writers: Vec<_> = body
-            .iter()
-            .filter(|i| i.op.defs().contains(&r))
-            .collect();
+        let writers: Vec<_> = body.iter().filter(|i| i.op.defs().contains(&r)).collect();
         if writers.is_empty() {
             continue; // pure live-in: architectural initial value
         }
@@ -222,7 +219,9 @@ pub fn build_preloop(
                 OpKind::If { cc } => {
                     // Record the guard base for this predicate row, and the
                     // dispatch location of this level's predicate value.
-                    let row = f.computes_if.expect("IF computes a row");
+                    let row = f.computes_if.ok_or(CodegenError::Internal(
+                        "IF instance computes no predicate row",
+                    ))?;
                     match loc_of(&env, RegRef::Cc(cc)) {
                         Loc::At(RegRef::Cc(t)) => {
                             guard_cc.insert(row, t);
@@ -332,7 +331,11 @@ pub fn build_preloop(
                         },
                     },
                     OpKind::Store { .. } | OpKind::If { .. } | OpKind::Break { .. } => {
-                        unreachable!("handled above")
+                        // Handled (and `continue`d) before remapping; if one
+                        // slips through anyway, refuse via the poison path
+                        // instead of unwinding through the public API.
+                        debug_assert!(false, "stores/IFs/breaks are handled before remapping");
+                        return Err(());
                     }
                 };
                 Ok(Operation { kind, guard: None })
@@ -370,13 +373,18 @@ pub fn build_preloop(
             if let Some(g) = guard {
                 match (primary, loc_of(&env, orig_dst)) {
                     (RegRef::Gpr(p), prior) => {
-                        let prior_operand = match prior {
-                            Loc::Arch => match orig_dst {
-                                RegRef::Gpr(o) => Operand::Reg(o),
-                                _ => unreachable!(),
-                            },
-                            Loc::At(RegRef::Gpr(t)) => Operand::Reg(t),
+                        let prior_operand = match (prior, orig_dst) {
+                            (Loc::Arch, RegRef::Gpr(o)) => Operand::Reg(o),
+                            (Loc::At(RegRef::Gpr(t)), _) => Operand::Reg(t),
                             _ => {
+                                // Covers poisoned priors and — should the
+                                // destination class ever disagree with the
+                                // contract register class (a transform bug)
+                                // — refuses rather than panics.
+                                debug_assert!(
+                                    !matches!(prior, Loc::Arch),
+                                    "GPR contract register for a non-GPR destination"
+                                );
                                 poison(&mut env, Some(orig_dst));
                                 refuse_if_needed(&needed_targets, "prior value unavailable")?;
                                 continue;
@@ -399,10 +407,20 @@ pub fn build_preloop(
             op = match (primary, op.kind) {
                 (RegRef::Gpr(p), _) => op.with_dst_gpr(p),
                 (RegRef::Cc(p), OpKind::Cmp { op: c, a, b, .. }) => Operation {
-                    kind: OpKind::Cmp { op: c, dst: p, a, b },
+                    kind: OpKind::Cmp {
+                        op: c,
+                        dst: p,
+                        a,
+                        b,
+                    },
                     guard: op.guard,
                 },
-                (RegRef::Cc(p), OpKind::CcAnd { a, a_val, b, b_val, .. }) => Operation {
+                (
+                    RegRef::Cc(p),
+                    OpKind::CcAnd {
+                        a, a_val, b, b_val, ..
+                    },
+                ) => Operation {
                     kind: OpKind::CcAnd {
                         dst: p,
                         a,

@@ -114,6 +114,37 @@ impl Schedule {
         self.rows.iter().flatten()
     }
 
+    /// A content fingerprint for memoizing code generation + scoring.
+    ///
+    /// Two schedules of the same source loop with equal fingerprints
+    /// generate identical programs and scores: the key covers everything
+    /// code generation reads that a transformation can change — the
+    /// register/CC budget of the spec (renames grow it; preloop temps are
+    /// allocated past it) and, for every instance in row order, exactly
+    /// the fields the generator consumes: operation, iteration index,
+    /// formal matrix, computed predicate row, and origin. Bookkeeping
+    /// fields (`id`, `late`, `snapshots`) are deliberately excluded — they
+    /// never reach generated code, and keying on them would make trials
+    /// that converge to the same schedule look distinct. Fields fixed for
+    /// the lifetime of one pipelining run (body, live-ins/outs, machine)
+    /// are also omitted: the memo is scoped to a run.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(64 * (1 + self.n_instances()));
+        let _ = write!(s, "r{}c{}", self.spec.n_regs, self.spec.n_ccs);
+        for row in &self.rows {
+            s.push('|');
+            for inst in row {
+                let _ = write!(
+                    s,
+                    "{:?}@{}^{}~{:?}:{:?};",
+                    inst.op, inst.index, inst.origin, inst.computes_if, inst.formal
+                );
+            }
+        }
+        s
+    }
+
     /// Largest operation index (pipeline depth; determines preloop length).
     pub fn max_index(&self) -> i32 {
         self.instances().map(|i| i.index).max().unwrap_or(0)
@@ -181,7 +212,7 @@ impl Schedule {
             let members: Vec<&Instance> =
                 row.iter().filter(|i| i.op.res_class() == class).collect();
             let limit = m.limit(class) as usize;
-            if members.len() > limit && max_compatible_clique(&members) > limit {
+            if members.len() > limit && compatible_clique_exceeds(&members, limit) {
                 return false;
             }
         }
@@ -212,25 +243,34 @@ impl Schedule {
     }
 }
 
-/// Size of the largest clique of pairwise non-disjoint instances.
-/// Exponential in the worst case but rows are tiny.
-fn max_compatible_clique(members: &[&Instance]) -> usize {
-    fn go(members: &[&Instance], chosen: &mut Vec<usize>, from: usize, best: &mut usize) {
-        *best = (*best).max(chosen.len());
+/// Whether a clique of pairwise non-disjoint instances larger than `limit`
+/// exists. Branch-and-bound DFS: returns as soon as a clique of size
+/// `limit + 1` is found, and prunes branches that cannot reach it — this is
+/// the decision form of the max-clique question (the only form resource
+/// validation needs), far cheaper than computing the maximum exactly.
+fn compatible_clique_exceeds(members: &[&Instance], limit: usize) -> bool {
+    fn go(members: &[&Instance], chosen: &mut Vec<usize>, from: usize, limit: usize) -> bool {
+        if chosen.len() > limit {
+            return true;
+        }
+        if chosen.len() + (members.len() - from) <= limit {
+            return false; // too few candidates left to exceed the limit
+        }
         for i in from..members.len() {
             if chosen
                 .iter()
                 .all(|&j| !members[i].formal.is_disjoint(&members[j].formal))
             {
                 chosen.push(i);
-                go(members, chosen, i + 1, best);
+                if go(members, chosen, i + 1, limit) {
+                    return true;
+                }
                 chosen.pop();
             }
         }
+        false
     }
-    let mut best = 0;
-    go(members, &mut Vec::new(), 0, &mut best);
-    best
+    go(members, &mut Vec::new(), 0, limit)
 }
 
 impl fmt::Display for Schedule {
@@ -255,15 +295,9 @@ mod tests {
         assert_eq!(s.n_instances(), 8);
         assert!(s.rows.iter().all(|r| r.len() == 1));
         // Paper §2: only COPY carries [1]; everything else [b].
-        let constrained: Vec<_> = s
-            .instances()
-            .filter(|i| !i.formal.is_universe())
-            .collect();
+        let constrained: Vec<_> = s.instances().filter(|i| !i.formal.is_universe()).collect();
         assert_eq!(constrained.len(), 1);
-        assert_eq!(
-            constrained[0].formal,
-            PredicateMatrix::single(0, 0, true)
-        );
+        assert_eq!(constrained[0].formal, PredicateMatrix::single(0, 0, true));
     }
 
     #[test]

@@ -155,6 +155,214 @@ impl MovePolicy {
     };
 }
 
+/// The evolving state of an upward plan: the rewritten mover, the `COPY`
+/// demanded by a rename (if any), and the combining keys already folded in.
+/// Complementary clones of one original operation (same origin and index)
+/// execute on disjoint paths: crossing several of them must apply their
+/// positional compensation exactly once, which is what `combined_from`
+/// tracks.
+#[derive(Clone)]
+struct PlanState {
+    work: Instance,
+    leftover: Option<Instance>,
+    combined_from: Vec<(usize, i32)>,
+}
+
+fn apply_row_fixes(
+    state: &mut PlanState,
+    fixes: Vec<(InstId, (usize, i32), Fix)>,
+    x: &Instance,
+    sched: &mut Schedule,
+    policy: MovePolicy,
+) -> Result<(), MoveError> {
+    // Substitutions in one row must not disagree on a source register.
+    let mut substs: Vec<(psp_ir::Reg, psp_ir::Reg)> = Vec::new();
+    let mut disp: i64 = 0;
+    let mut rename = false;
+    for (by, blocker, f) in fixes {
+        match f {
+            Fix::CombineDisp(d) => {
+                if !state.combined_from.contains(&blocker) {
+                    state.combined_from.push(blocker);
+                    disp += d;
+                }
+            }
+            Fix::Subst { from, to } => {
+                if substs.iter().any(|&(f2, t2)| f2 == from && t2 != to) {
+                    return Err(MoveError::Blocked {
+                        by,
+                        reason: "ambiguous copy substitution",
+                    });
+                }
+                if !substs.contains(&(from, to)) {
+                    substs.push((from, to));
+                }
+            }
+            Fix::Rename => {
+                if !policy.rename {
+                    return Err(MoveError::Blocked {
+                        by,
+                        reason: "rename disabled in this pass",
+                    });
+                }
+                rename = true;
+            }
+            Fix::SpeculateRename => {
+                if !policy.speculate {
+                    return Err(MoveError::Blocked {
+                        by,
+                        reason: "speculation disabled in this pass",
+                    });
+                }
+                rename = true;
+            }
+        }
+    }
+    for (from, to) in substs {
+        state.work.op = state.work.op.with_uses_renamed(from, to);
+    }
+    if disp != 0 {
+        state.work.op.kind = match state.work.op.kind {
+            OpKind::Load { dst, addr } => OpKind::Load {
+                dst,
+                addr: addr.displaced(disp),
+            },
+            OpKind::Store { src, addr } => OpKind::Store {
+                src,
+                addr: addr.displaced(disp),
+            },
+            _ => return Err(MoveError::BadTarget),
+        };
+    }
+    if rename && state.leftover.is_none() {
+        let old = match state.work.op.defs().as_slice() {
+            [psp_ir::RegRef::Gpr(r)] => *r,
+            _ => return Err(MoveError::BadTarget),
+        };
+        let fresh = sched.spec.fresh_reg();
+        state.work.op = state.work.op.with_dst_gpr(fresh);
+        state.leftover = Some(Instance {
+            id: sched.fresh_id(),
+            op: build::copy(old, fresh),
+            index: x.index,
+            formal: x.formal.clone(),
+            computes_if: None,
+            origin: x.origin,
+            late: x.late + 1,
+            // Leftover copies are steady-state plumbing only; the
+            // preloop's snapshot ops write the architectural registers
+            // directly.
+            snapshots: Vec::new(),
+        });
+    }
+    Ok(())
+}
+
+/// Partners of the mover's own row: leaving a shared cycle upward preserves
+/// pre-cycle read semantics, so positional fixes (combining, substitution)
+/// demanded by the pair check are *already incorporated* in the mover's
+/// operation and must not be re-applied; only renames (a same-row reader
+/// that would start seeing the write) are genuinely new. The
+/// already-incorporated combines are recorded so jumped clones of the same
+/// update are not double-counted.
+fn plan_own_row(
+    sched: &mut Schedule,
+    x: &Instance,
+    own_row: &[Instance],
+    live_out: &[psp_ir::RegRef],
+    policy: MovePolicy,
+    machine: &MachineConfig,
+) -> Result<PlanState, MoveError> {
+    let mut state = PlanState {
+        work: x.clone(),
+        leftover: None,
+        combined_from: Vec::new(),
+    };
+    let mut fixes: Vec<(InstId, (usize, i32), Fix)> = Vec::new();
+    for y in own_row {
+        if y.id == x.id {
+            continue;
+        }
+        let c = check_pair(&state.work, y, live_out, machine);
+        match c.above {
+            Permission::Yes => {}
+            Permission::WithFixes(fs) => {
+                for f in fs {
+                    match f {
+                        Fix::Rename | Fix::SpeculateRename => {
+                            fixes.push((y.id, (y.origin, y.index), f))
+                        }
+                        Fix::CombineDisp(_) => {
+                            let key = (y.origin, y.index);
+                            if !state.combined_from.contains(&key) {
+                                state.combined_from.push(key);
+                            }
+                        }
+                        Fix::Subst { .. } => {}
+                    }
+                }
+            }
+            Permission::No(reason) => return Err(MoveError::Blocked { by: y.id, reason }),
+        }
+    }
+    apply_row_fixes(&mut state, fixes, x, sched, policy)?;
+    Ok(state)
+}
+
+/// Cross one jumped row (full `above` permissions).
+fn plan_cross_row(
+    state: &mut PlanState,
+    row: &[Instance],
+    x: &Instance,
+    sched: &mut Schedule,
+    live_out: &[psp_ir::RegRef],
+    policy: MovePolicy,
+    machine: &MachineConfig,
+) -> Result<(), MoveError> {
+    let mut fixes: Vec<(InstId, (usize, i32), Fix)> = Vec::new();
+    for y in row {
+        if y.id == x.id {
+            continue;
+        }
+        let c = check_pair(&state.work, y, live_out, machine);
+        match c.above {
+            Permission::Yes => {}
+            Permission::WithFixes(fs) => {
+                fixes.extend(fs.into_iter().map(|f| (y.id, (y.origin, y.index), f)));
+            }
+            Permission::No(reason) => return Err(MoveError::Blocked { by: y.id, reason }),
+        }
+    }
+    apply_row_fixes(state, fixes, x, sched, policy)
+}
+
+/// Land in the target row (cycle-sharing `same` permissions).
+fn plan_into_row(
+    state: &mut PlanState,
+    row: &[Instance],
+    x: &Instance,
+    sched: &mut Schedule,
+    live_out: &[psp_ir::RegRef],
+    policy: MovePolicy,
+    machine: &MachineConfig,
+) -> Result<(), MoveError> {
+    let mut fixes: Vec<(InstId, (usize, i32), Fix)> = Vec::new();
+    for y in row {
+        if y.id == x.id {
+            continue;
+        }
+        let c = check_pair(&state.work, y, live_out, machine);
+        match c.same {
+            Permission::Yes => {}
+            Permission::WithFixes(fs) => {
+                fixes.extend(fs.into_iter().map(|f| (y.id, (y.origin, y.index), f)))
+            }
+            Permission::No(reason) => return Err(MoveError::Blocked { by: y.id, reason }),
+        }
+    }
+    apply_row_fixes(state, fixes, x, sched, policy)
+}
+
 fn plan_upward(
     sched: &mut Schedule,
     x: &Instance,
@@ -165,174 +373,14 @@ fn plan_upward(
     machine: &MachineConfig,
 ) -> Result<(Instance, Option<Instance>), MoveError> {
     let live_out = sched.spec.live_out.clone();
-    let mut work = x.clone();
-    let mut leftover: Option<Instance> = None;
-    // Complementary clones of one original operation (same origin and
-    // index) execute on disjoint paths: crossing several of them must
-    // apply their positional compensation exactly once.
-    let mut combined_from: Vec<(usize, i32)> = Vec::new();
-
-    let apply_row_fixes = |work: &mut Instance,
-                               leftover: &mut Option<Instance>,
-                               fixes: Vec<(InstId, (usize, i32), Fix)>,
-                               sched: &mut Schedule,
-                               combined_from: &mut Vec<(usize, i32)>|
-     -> Result<(), MoveError> {
-        // Substitutions in one row must not disagree on a source register.
-        let mut substs: Vec<(psp_ir::Reg, psp_ir::Reg)> = Vec::new();
-        let mut disp: i64 = 0;
-        let mut rename = false;
-        for (by, blocker, f) in fixes {
-            match f {
-                Fix::CombineDisp(d) => {
-                    if !combined_from.contains(&blocker) {
-                        combined_from.push(blocker);
-                        disp += d;
-                    }
-                }
-                Fix::Subst { from, to } => {
-                    if substs.iter().any(|&(f2, t2)| f2 == from && t2 != to) {
-                        return Err(MoveError::Blocked {
-                            by,
-                            reason: "ambiguous copy substitution",
-                        });
-                    }
-                    if !substs.contains(&(from, to)) {
-                        substs.push((from, to));
-                    }
-                }
-                Fix::Rename => {
-                    if !policy.rename {
-                        return Err(MoveError::Blocked {
-                            by,
-                            reason: "rename disabled in this pass",
-                        });
-                    }
-                    rename = true;
-                }
-                Fix::SpeculateRename => {
-                    if !policy.speculate {
-                        return Err(MoveError::Blocked {
-                            by,
-                            reason: "speculation disabled in this pass",
-                        });
-                    }
-                    rename = true;
-                }
-            }
-        }
-        for (from, to) in substs {
-            work.op = work.op.with_uses_renamed(from, to);
-        }
-        if disp != 0 {
-            work.op.kind = match work.op.kind {
-                OpKind::Load { dst, addr } => OpKind::Load {
-                    dst,
-                    addr: addr.displaced(disp),
-                },
-                OpKind::Store { src, addr } => OpKind::Store {
-                    src,
-                    addr: addr.displaced(disp),
-                },
-                _ => return Err(MoveError::BadTarget),
-            };
-        }
-        if rename && leftover.is_none() {
-            let old = match work.op.defs().as_slice() {
-                [psp_ir::RegRef::Gpr(r)] => *r,
-                _ => return Err(MoveError::BadTarget),
-            };
-            let fresh = sched.spec.fresh_reg();
-            work.op = work.op.with_dst_gpr(fresh);
-            *leftover = Some(Instance {
-                id: sched.fresh_id(),
-                op: build::copy(old, fresh),
-                index: x.index,
-                formal: x.formal.clone(),
-                computes_if: None,
-                origin: x.origin,
-                late: x.late + 1,
-                // Leftover copies are steady-state plumbing only; the
-                // preloop's snapshot ops write the architectural registers
-                // directly.
-                snapshots: Vec::new(),
-            });
-        }
-        Ok(())
-    };
-
-    // Partners of the mover's own row first: leaving a shared cycle
-    // upward preserves pre-cycle read semantics, so positional fixes
-    // (combining, substitution) demanded by the pair check are *already
-    // incorporated* in the mover's operation and must not be re-applied;
-    // only renames (a same-row reader that would start seeing the write)
-    // are genuinely new. The already-incorporated combines are recorded so
-    // jumped clones of the same update are not double-counted.
-    {
-        let mut fixes: Vec<(InstId, (usize, i32), Fix)> = Vec::new();
-        for y in own_row {
-            if y.id == x.id {
-                continue;
-            }
-            let c = check_pair(&work, y, &live_out, machine);
-            match c.above {
-                Permission::Yes => {}
-                Permission::WithFixes(fs) => {
-                    for f in fs {
-                        match f {
-                            Fix::Rename | Fix::SpeculateRename => {
-                                fixes.push((y.id, (y.origin, y.index), f))
-                            }
-                            Fix::CombineDisp(_) => {
-                                let key = (y.origin, y.index);
-                                if !combined_from.contains(&key) {
-                                    combined_from.push(key);
-                                }
-                            }
-                            Fix::Subst { .. } => {}
-                        }
-                    }
-                }
-                Permission::No(reason) => return Err(MoveError::Blocked { by: y.id, reason }),
-            }
-        }
-        apply_row_fixes(&mut work, &mut leftover, fixes, sched, &mut combined_from)?;
-    }
+    let mut state = plan_own_row(sched, x, own_row, &live_out, policy, machine)?;
     // Jumped rows, nearest first (bottom-up).
     for row in jumped_rows.iter().rev() {
-        let mut fixes: Vec<(InstId, (usize, i32), Fix)> = Vec::new();
-        for y in row {
-            if y.id == x.id {
-                continue;
-            }
-            let c = check_pair(&work, y, &live_out, machine);
-            match c.above {
-                Permission::Yes => {}
-                Permission::WithFixes(fs) => {
-                    fixes.extend(fs.into_iter().map(|f| (y.id, (y.origin, y.index), f)));
-                }
-                Permission::No(reason) => return Err(MoveError::Blocked { by: y.id, reason }),
-            }
-        }
-        apply_row_fixes(&mut work, &mut leftover, fixes, sched, &mut combined_from)?;
+        plan_cross_row(&mut state, row, x, sched, &live_out, policy, machine)?;
     }
     // Target row (cycle sharing).
-    let mut fixes: Vec<(InstId, (usize, i32), Fix)> = Vec::new();
-    for y in same_row {
-        if y.id == x.id {
-            continue;
-        }
-        let c = check_pair(&work, y, &live_out, machine);
-        match c.same {
-            Permission::Yes => {}
-            Permission::WithFixes(fs) => {
-                fixes.extend(fs.into_iter().map(|f| (y.id, (y.origin, y.index), f)))
-            }
-            Permission::No(reason) => return Err(MoveError::Blocked { by: y.id, reason }),
-        }
-    }
-    apply_row_fixes(&mut work, &mut leftover, fixes, sched, &mut combined_from)?;
-    Ok((work, leftover))
+    plan_into_row(&mut state, same_row, x, sched, &live_out, policy, machine)?;
+    Ok((state.work, state.leftover))
 }
 
 /// Latency feasibility of `x` sitting at `row`, for every producer in the
@@ -409,8 +457,15 @@ pub fn moveup_ext(
     let own_row: Vec<Instance> = sched.rows[cur].clone();
     let jumped_rows: Vec<Vec<Instance>> = sched.rows[target + 1..cur].to_vec();
     let same_row: Vec<Instance> = sched.rows[target].clone();
-    let (moved, leftover) =
-        plan_upward(sched, &x, &own_row, &jumped_rows, &same_row, policy, machine)?;
+    let (moved, leftover) = plan_upward(
+        sched,
+        &x,
+        &own_row,
+        &jumped_rows,
+        &same_row,
+        policy,
+        machine,
+    )?;
 
     if !resource_ok(sched, &moved, target, machine) {
         return Err(MoveError::Resource);
@@ -435,6 +490,97 @@ pub fn moveup_ext(
         sched.insert(cur, copy);
     }
     Ok(())
+}
+
+/// Move an instance to the *earliest* feasible row, equivalent to trying
+/// `moveup_ext` at targets `0..cur` in order and taking the first success —
+/// but in one pass instead of a quadratic re-plan per target.
+///
+/// The plan state for target `t` is the own-row state extended by crossing
+/// rows `cur-1, cur-2, …, t+1`: a shared suffix across targets. One
+/// descending sweep builds every per-target state incrementally (a crossing
+/// failure at row `k` blocks all targets below `k`, exactly as each
+/// individual plan would fail at that same row); an ascending scan then
+/// branches each state through the target row's cycle-sharing checks and
+/// the placement checks, returning on the first success.
+///
+/// Returns the chosen target row.
+pub(crate) fn moveup_earliest(
+    sched: &mut Schedule,
+    id: InstId,
+    machine: &MachineConfig,
+    policy: MovePolicy,
+) -> Result<usize, MoveError> {
+    let (cur, pos) = sched.find(id).ok_or(MoveError::NotFound)?;
+    if cur == 0 {
+        return Err(MoveError::BadTarget);
+    }
+    let x = sched.rows[cur][pos].clone();
+    let own_row: Vec<Instance> = sched.rows[cur].clone();
+    let rows_below: Vec<Vec<Instance>> = sched.rows[..cur].to_vec();
+    let live_out = sched.spec.live_out.clone();
+
+    let mut state = plan_own_row(sched, &x, &own_row, &live_out, policy, machine)?;
+    // states[t] = plan state after crossing rows (t, cur), i.e. ready to
+    // land in row t. Built top state first (t = cur-1 crosses nothing).
+    let mut states: Vec<Option<PlanState>> = vec![None; cur];
+    states[cur - 1] = Some(state.clone());
+    for k in (1..cur).rev() {
+        match plan_cross_row(
+            &mut state,
+            &rows_below[k],
+            &x,
+            sched,
+            &live_out,
+            policy,
+            machine,
+        ) {
+            Ok(()) => states[k - 1] = Some(state.clone()),
+            Err(_) => break, // every target below row k is blocked by row k
+        }
+    }
+
+    for (target, slot) in states.iter().enumerate() {
+        let Some(st) = slot else { continue };
+        let mut st = st.clone();
+        if plan_into_row(
+            &mut st,
+            &rows_below[target],
+            &x,
+            sched,
+            &live_out,
+            policy,
+            machine,
+        )
+        .is_err()
+        {
+            continue;
+        }
+        let PlanState {
+            work: moved,
+            leftover,
+            ..
+        } = st;
+        if !resource_ok(sched, &moved, target, machine)
+            || !latency_ok(sched, &moved, target, machine)
+        {
+            continue;
+        }
+        if let Some(copy) = &leftover {
+            if cur - target < flow_latency(&moved, machine)
+                || !resource_ok(sched, copy, cur, machine)
+            {
+                continue;
+            }
+        }
+        sched.remove(id);
+        sched.insert(target, moved);
+        if let Some(copy) = leftover {
+            sched.insert(cur, copy);
+        }
+        return Ok(target);
+    }
+    Err(MoveError::BadTarget)
 }
 
 /// Move an instance from row 0 across the loop boundary.
@@ -692,12 +838,10 @@ pub fn prune_stalls(sched: &mut Schedule, machine: &MachineConfig) {
         };
         let mut trial = sched.clone();
         trial.rows.remove(empty);
-        let ok = trial
-            .instances()
-            .all(|x| {
-                let (row, _) = trial.find(x.id).expect("instance present");
-                latency_ok(&trial, x, row, machine)
-            });
+        let ok = trial.instances().all(|x| {
+            let (row, _) = trial.find(x.id).expect("instance present");
+            latency_ok(&trial, x, row, machine)
+        });
         if ok {
             *sched = trial;
         } else {

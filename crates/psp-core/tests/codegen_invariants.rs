@@ -33,9 +33,8 @@ fn steady_entries_partition_the_incoming_paths() {
                     );
                 }
             }
-            let union = PathSet::from_matrices(
-                entries.iter().map(|&b| prog.blocks[b].matrix.clone()),
-            );
+            let union =
+                PathSet::from_matrices(entries.iter().map(|&b| prog.blocks[b].matrix.clone()));
             assert!(union.is_universe(), "{}: entries do not cover", kernel.name);
         }
     }
@@ -75,11 +74,7 @@ fn prologue_is_never_observable() {
             let res = pipeline_loop(&kernel.spec, &PspConfig::with_machine(m)).unwrap();
             for cycle in &res.program.prologue {
                 for op in cycle {
-                    assert!(
-                        !op.is_store(),
-                        "{}: store in the preloop",
-                        kernel.name
-                    );
+                    assert!(!op.is_store(), "{}: store in the preloop", kernel.name);
                     assert!(!op.is_if() && !op.is_break());
                     for d in op.defs() {
                         assert!(

@@ -1,0 +1,93 @@
+//! Determinism cross-checks for the parallel, memoized driver.
+//!
+//! The candidate search evaluates trials concurrently and memoizes code
+//! generation, but its *results* must be bit-identical to the plain
+//! sequential scan: same transformation counts, same final II, same
+//! generated program text, for every kernel and every thread count.
+
+use psp_core::driver::{pipeline_loop, PspConfig, PspResult};
+use psp_kernels::all_kernels;
+
+/// The observable outcome of a run: everything that must not depend on
+/// thread count or memoization. (Timers and cache telemetry are excluded
+/// by construction — see `PspStats::counters`.)
+fn observe(res: &PspResult) -> (Vec<usize>, Option<(usize, usize)>, String, String) {
+    (
+        res.stats.counters().to_vec(),
+        res.program.ii_range(),
+        res.program.to_string(),
+        res.schedule.render(),
+    )
+}
+
+#[test]
+fn parallel_matches_sequential_on_all_kernels() {
+    for kernel in all_kernels() {
+        let seq = pipeline_loop(&kernel.spec, &PspConfig::default().sequential())
+            .unwrap_or_else(|e| panic!("{} (sequential): {e}", kernel.name));
+        for threads in [0, 2, 3] {
+            let cfg = PspConfig {
+                threads,
+                ..PspConfig::default()
+            };
+            let par = pipeline_loop(&kernel.spec, &cfg)
+                .unwrap_or_else(|e| panic!("{} (threads={threads}): {e}", kernel.name));
+            assert_eq!(
+                observe(&seq),
+                observe(&par),
+                "{}: threads={threads} diverged from the sequential driver",
+                kernel.name
+            );
+        }
+    }
+}
+
+#[test]
+fn memoization_does_not_change_results() {
+    for kernel in all_kernels() {
+        let base = PspConfig {
+            threads: 1,
+            ..PspConfig::default()
+        };
+        let memo_off = pipeline_loop(
+            &kernel.spec,
+            &PspConfig {
+                enable_memo: false,
+                ..base.clone()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{} (memo off): {e}", kernel.name));
+        let memo_on = pipeline_loop(
+            &kernel.spec,
+            &PspConfig {
+                enable_memo: true,
+                ..base
+            },
+        )
+        .unwrap_or_else(|e| panic!("{} (memo on): {e}", kernel.name));
+        assert_eq!(
+            observe(&memo_off),
+            observe(&memo_on),
+            "{}: memoization changed the result",
+            kernel.name
+        );
+        // Single-threaded memo telemetry is deterministic: every trial is
+        // either a hit or a miss, and hits only ever shortcut work.
+        assert!(memo_on.stats.cache_hits + memo_on.stats.cache_misses > 0);
+        assert_eq!(memo_off.stats.cache_hits, 0);
+        assert_eq!(memo_off.stats.cache_misses, 0);
+    }
+}
+
+#[test]
+fn probability_mode_is_thread_count_invariant() {
+    let kernel = psp_kernels::by_name("skewed").unwrap();
+    let mk = |threads: usize| PspConfig {
+        threads,
+        probs: Some(vec![0.1]),
+        ..PspConfig::default()
+    };
+    let seq = pipeline_loop(&kernel.spec, &mk(1)).unwrap();
+    let par = pipeline_loop(&kernel.spec, &mk(0)).unwrap();
+    assert_eq!(observe(&seq), observe(&par));
+}

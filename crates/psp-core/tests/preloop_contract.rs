@@ -143,9 +143,8 @@ fn refusals_surface_as_codegen_errors_not_miscompiles() {
             Ok(prog) => {
                 let data = psp_kernels::KernelData::random(8, 9);
                 let init = kernel.initial_state(&data);
-                let (_, run) =
-                    psp_sim::check_equivalence(&kernel.spec, &prog, &init, 1_000_000)
-                        .expect("generated code must be correct");
+                let (_, run) = psp_sim::check_equivalence(&kernel.spec, &prog, &init, 1_000_000)
+                    .expect("generated code must be correct");
                 kernel.check(&run.state, &data).unwrap();
             }
         }

@@ -33,8 +33,11 @@ fn arb_action() -> impl Strategy<Value = Action> {
         (any::<u16>(), any::<u16>()).prop_map(|(pick, target)| Action::MoveUp { pick, target }),
         any::<u16>().prop_map(|pick| Action::WrapUp { pick }),
         (any::<u16>(), any::<u16>()).prop_map(|(pick, target)| Action::MoveDown { pick, target }),
-        (any::<u16>(), any::<u8>(), any::<u8>())
-            .prop_map(|(pick, row, col)| Action::Split { pick, row, col }),
+        (any::<u16>(), any::<u8>(), any::<u8>()).prop_map(|(pick, row, col)| Action::Split {
+            pick,
+            row,
+            col
+        }),
         any::<u16>().prop_map(|pick| Action::Unify { pick }),
         Just(Action::Prune),
         Just(Action::Compact),
@@ -140,13 +143,12 @@ fn fuzz_kernel(kernel: &psp_kernels::Kernel, actions: &[Action], machine: &Machi
             let data = KernelData::random(1234, len);
             let init = kernel.initial_state(&data);
             let (_, run) = check_equivalence(&kernel.spec, &prog, &init, 10_000_000)
-                .unwrap_or_else(|e|
-
+                .unwrap_or_else(|e| {
                     panic!(
                         "{} after {applied} transformations, len {len}: {e}\n{sched}\n{prog}",
                         kernel.name
                     )
-                );
+                });
             kernel
                 .check(&run.state, &data)
                 .unwrap_or_else(|e| panic!("{e}\n{sched}\n{prog}"));

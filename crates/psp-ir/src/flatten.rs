@@ -81,8 +81,8 @@ mod tests {
     use super::*;
     use crate::op::build::*;
     use crate::op::{CmpOp, OpKind};
-    use crate::spec::LoopBuilder;
     use crate::reg::{CcReg, Reg};
+    use crate::spec::LoopBuilder;
 
     fn vecmin() -> LoopSpec {
         let mut b = LoopBuilder::new("vecmin");
@@ -98,9 +98,13 @@ mod tests {
         b.op(load(xk, x, k));
         b.op(load(xm, x, m));
         b.op(cmp(CmpOp::Lt, cc0, xk, xm));
-        b.if_else(cc0, |b| {
-            b.op(copy(m, k));
-        }, |_| {});
+        b.if_else(
+            cc0,
+            |b| {
+                b.op(copy(m, k));
+            },
+            |_| {},
+        );
         b.op(add(k, k, one));
         b.op(cmp(CmpOp::Ge, cc1, k, n));
         b.break_(cc1);
@@ -152,11 +156,15 @@ mod tests {
             cc0,
             |b| {
                 b.op(cmp(CmpOp::Lt, cc1, r, 10i64));
-                b.if_else(cc1, |b| {
-                    b.op(add(r, r, one));
-                }, |b| {
-                    b.op(sub(r, r, one));
-                });
+                b.if_else(
+                    cc1,
+                    |b| {
+                        b.op(add(r, r, one));
+                    },
+                    |b| {
+                        b.op(sub(r, r, one));
+                    },
+                );
             },
             |_| {},
         );
@@ -166,7 +174,15 @@ mod tests {
         let flat = flatten(&spec);
         let add_op = flat
             .iter()
-            .find(|f| matches!(f.op.kind, OpKind::Alu { op: crate::op::AluOp::Add, .. }))
+            .find(|f| {
+                matches!(
+                    f.op.kind,
+                    OpKind::Alu {
+                        op: crate::op::AluOp::Add,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert_eq!(
             add_op.ctrl,
@@ -174,17 +190,22 @@ mod tests {
         );
         let sub_op = flat
             .iter()
-            .find(|f| matches!(f.op.kind, OpKind::Alu { op: crate::op::AluOp::Sub, .. }))
+            .find(|f| {
+                matches!(
+                    f.op.kind,
+                    OpKind::Alu {
+                        op: crate::op::AluOp::Sub,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         assert_eq!(
             sub_op.ctrl,
             PredicateMatrix::from_entries([(0, 0, true), (1, 0, false)])
         );
         // Inner IF carries only the outer constraint.
-        let inner_if = flat
-            .iter()
-            .find(|f| f.computes_if == Some(1))
-            .unwrap();
+        let inner_if = flat.iter().find(|f| f.computes_if == Some(1)).unwrap();
         assert_eq!(inner_if.ctrl, PredicateMatrix::single(0, 0, true));
         // Operations on opposite arms are disjoined.
         assert!(add_op.ctrl.is_disjoint(&sub_op.ctrl));

@@ -685,7 +685,11 @@ mod tests {
         assert_eq!(sel.defs(), vec![RegRef::Gpr(Reg(3))]);
         assert_eq!(
             sel.uses(),
-            vec![RegRef::Gpr(Reg(2)), RegRef::Gpr(Reg(3)), RegRef::Cc(CcReg(0))]
+            vec![
+                RegRef::Gpr(Reg(2)),
+                RegRef::Gpr(Reg(3)),
+                RegRef::Cc(CcReg(0))
+            ]
         );
     }
 

@@ -164,7 +164,9 @@ mod tests {
 
     #[test]
     fn address_displace_accumulates() {
-        let a = Address::indexed(ArrayId(0), Reg(0)).displaced(2).displaced(-5);
+        let a = Address::indexed(ArrayId(0), Reg(0))
+            .displaced(2)
+            .displaced(-5);
         assert_eq!(a.disp, -3);
     }
 

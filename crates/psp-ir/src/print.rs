@@ -29,11 +29,7 @@ impl fmt::Display for Operation {
                 a_val,
                 b,
                 b_val,
-            } => write!(
-                f,
-                "CCAND {dst}, {a}={}, {b}={}",
-                a_val as u8, b_val as u8
-            ),
+            } => write!(f, "CCAND {dst}, {a}={}, {b}={}", a_val as u8, b_val as u8),
             OpKind::If { cc } => write!(f, "IF {cc}"),
             OpKind::Break { cc } => write!(f, "BREAK {cc}"),
         }
@@ -70,10 +66,7 @@ mod tests {
         );
         assert_eq!(if_(CcReg(0)).to_string(), "IF CC0");
         assert_eq!(break_(CcReg(1)).to_string(), "BREAK CC1");
-        assert_eq!(
-            add(Reg(0), Reg(1), 5i64).to_string(),
-            "ADD R0, R1, #5"
-        );
+        assert_eq!(add(Reg(0), Reg(1), 5i64).to_string(), "ADD R0, R1, #5");
     }
 
     #[test]

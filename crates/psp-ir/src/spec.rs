@@ -388,9 +388,7 @@ impl fmt::Display for LoopSpec {
                         }
                         writeln!(f, "{:indent$}ENDIF", "", indent = indent)?;
                     }
-                    Item::Break(b) => {
-                        writeln!(f, "{:indent$}BREAK {}", "", b.cc, indent = indent)?
-                    }
+                    Item::Break(b) => writeln!(f, "{:indent$}BREAK {}", "", b.cc, indent = indent)?,
                 }
             }
             Ok(())
@@ -421,9 +419,13 @@ mod tests {
         b.op(load(xk, x, k));
         b.op(load(xm, x, m));
         b.op(cmp(CmpOp::Lt, cc0, xk, xm));
-        b.if_else(cc0, |b| {
-            b.op(copy(m, k));
-        }, |_| {});
+        b.if_else(
+            cc0,
+            |b| {
+                b.op(copy(m, k));
+            },
+            |_| {},
+        );
         b.op(add(k, k, one));
         b.op(cmp(CmpOp::Ge, cc1, k, n));
         b.break_(cc1);
@@ -488,9 +490,13 @@ mod tests {
             cc0,
             |b| {
                 b.op(cmp(CmpOp::Lt, cc1, r, 10i64));
-                b.if_else(cc1, |b| {
-                    b.op(add(r, r, one));
-                }, |_| {});
+                b.if_else(
+                    cc1,
+                    |b| {
+                        b.op(add(r, r, one));
+                    },
+                    |_| {},
+                );
             },
             |b| {
                 b.op(sub(r, r, one));

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 use psp_ir::op::build;
-use psp_ir::{Address, AluOp, ArrayId, CcReg, CmpOp, Guard, OpKind, Operand, Operation, Reg, RegRef};
+use psp_ir::{
+    Address, AluOp, ArrayId, CcReg, CmpOp, Guard, OpKind, Operand, Operation, Reg, RegRef,
+};
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
     (0u32..6).prop_map(Reg)
@@ -54,7 +56,12 @@ fn arb_op() -> impl Strategy<Value = Operation> {
         (arb_alu(), arb_reg(), arb_operand(), arb_operand())
             .prop_map(|(op, dst, a, b)| OpKind::Alu { op, dst, a, b }),
         (arb_reg(), arb_operand()).prop_map(|(dst, src)| OpKind::Copy { dst, src }),
-        (arb_cmp(), (0u32..3).prop_map(CcReg), arb_operand(), arb_operand())
+        (
+            arb_cmp(),
+            (0u32..3).prop_map(CcReg),
+            arb_operand(),
+            arb_operand()
+        )
             .prop_map(|(op, dst, a, b)| OpKind::Cmp { op, dst, a, b }),
         (arb_reg(), arb_reg(), -2i64..3).prop_map(|(dst, idx, d)| OpKind::Load {
             dst,

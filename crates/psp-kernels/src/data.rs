@@ -109,7 +109,9 @@ mod tests {
 
     #[test]
     fn builders_override_fields() {
-        let d = KernelData::random(1, 4).with_threshold(9).with_bounds(-1, 1);
+        let d = KernelData::random(1, 4)
+            .with_threshold(9)
+            .with_bounds(-1, 1);
         assert_eq!(d.t, 9);
         assert_eq!((d.lo, d.hi), (-1, 1));
     }

@@ -89,9 +89,13 @@ pub fn vecmin() -> Kernel {
     b.op(load(xk, x, k));
     b.op(load(xm, x, m));
     b.op(cmp(CmpOp::Lt, cc0, xk, xm));
-    b.if_else(cc0, |b| {
-        b.op(copy(m, k));
-    }, |_| {});
+    b.if_else(
+        cc0,
+        |b| {
+            b.op(copy(m, k));
+        },
+        |_| {},
+    );
     b.op(add(k, k, 1i64));
     b.op(cmp(CmpOp::Ge, cc1, k, n));
     b.break_(cc1);
@@ -132,9 +136,13 @@ pub fn cond_sum() -> Kernel {
     let cc1 = b.cc();
     b.op(load(xk, x, k));
     b.op(cmp(CmpOp::Gt, cc0, xk, t));
-    b.if_else(cc0, |b| {
-        b.op(add(acc, acc, xk));
-    }, |_| {});
+    b.if_else(
+        cc0,
+        |b| {
+            b.op(add(acc, acc, xk));
+        },
+        |_| {},
+    );
     b.op(add(k, k, 1i64));
     b.op(cmp(CmpOp::Ge, cc1, k, n));
     b.break_(cc1);
@@ -171,9 +179,13 @@ pub fn count_above() -> Kernel {
     let cc1 = b.cc();
     b.op(load(xk, x, k));
     b.op(cmp(CmpOp::Gt, cc0, xk, t));
-    b.if_else(cc0, |b| {
-        b.op(add(cnt, cnt, 1i64));
-    }, |_| {});
+    b.if_else(
+        cc0,
+        |b| {
+            b.op(add(cnt, cnt, 1i64));
+        },
+        |_| {},
+    );
     b.op(add(k, k, 1i64));
     b.op(cmp(CmpOp::Ge, cc1, k, n));
     b.break_(cc1);
@@ -219,9 +231,13 @@ pub fn clamp_store() -> Kernel {
         },
         |b| {
             b.op(cmp(CmpOp::Gt, cc1, v, hi));
-            b.if_else(cc1, |b| {
-                b.op(copy(v, hi));
-            }, |_| {});
+            b.if_else(
+                cc1,
+                |b| {
+                    b.op(copy(v, hi));
+                },
+                |_| {},
+            );
         },
     );
     b.op(store(y, k, v));
@@ -263,9 +279,13 @@ pub fn sat_add() -> Kernel {
     b.op(load(xk, x, k));
     b.op(add(acc, acc, xk));
     b.op(cmp(CmpOp::Gt, cc0, acc, hi));
-    b.if_else(cc0, |b| {
-        b.op(copy(acc, hi));
-    }, |_| {});
+    b.if_else(
+        cc0,
+        |b| {
+            b.op(copy(acc, hi));
+        },
+        |_| {},
+    );
     b.op(add(k, k, 1i64));
     b.op(cmp(CmpOp::Ge, cc1, k, n));
     b.break_(cc1);
@@ -307,9 +327,13 @@ pub fn abs_sum() -> Kernel {
     let cc1 = b.cc();
     b.op(load(d_, x, k));
     b.op(cmp(CmpOp::Lt, cc0, d_, 0i64));
-    b.if_else(cc0, |b| {
-        b.op(sub(d_, 0i64, d_));
-    }, |_| {});
+    b.if_else(
+        cc0,
+        |b| {
+            b.op(sub(d_, 0i64, d_));
+        },
+        |_| {},
+    );
     b.op(add(acc, acc, d_));
     b.op(add(k, k, 1i64));
     b.op(cmp(CmpOp::Ge, cc1, k, n));
@@ -448,9 +472,13 @@ pub fn two_cond() -> Kernel {
         cc0,
         |b| {
             b.op(cmp(CmpOp::Lt, cc1, xk, hi));
-            b.if_else(cc1, |b| {
-                b.op(add(acc, acc, xk));
-            }, |_| {});
+            b.if_else(
+                cc1,
+                |b| {
+                    b.op(add(acc, acc, xk));
+                },
+                |_| {},
+            );
         },
         |_| {},
     );
@@ -491,9 +519,13 @@ pub fn find_first() -> Kernel {
     let cc1 = b.cc();
     b.op(load(xk, x, k));
     b.op(cmp(CmpOp::Eq, cc0, xk, t));
-    b.if_else(cc0, |b| {
-        b.op(copy(found, k));
-    }, |_| {});
+    b.if_else(
+        cc0,
+        |b| {
+            b.op(copy(found, k));
+        },
+        |_| {},
+    );
     b.break_(cc0);
     b.op(add(k, k, 1i64));
     b.op(cmp(CmpOp::Ge, cc1, k, n));
@@ -512,12 +544,11 @@ pub fn find_first() -> Kernel {
             s
         }),
         golden_regs: Box::new(move |d| {
-            let f = d
-                .x
-                .iter()
-                .position(|&v| v == d.t)
-                .map(|i| i as i64)
-                .unwrap_or(-1);
+            let f =
+                d.x.iter()
+                    .position(|&v| v == d.t)
+                    .map(|i| i as i64)
+                    .unwrap_or(-1);
             vec![(RegRef::Gpr(found), f)]
         }),
         golden_y: None,
@@ -611,13 +642,12 @@ pub fn dot_cond() -> Kernel {
             s
         }),
         golden_regs: Box::new(move |d| {
-            let sum: i64 = d
-                .x
-                .iter()
-                .zip(&d.y)
-                .filter(|(_, &yv)| yv != 0)
-                .map(|(&xv, &yv)| xv.wrapping_mul(yv))
-                .sum();
+            let sum: i64 =
+                d.x.iter()
+                    .zip(&d.y)
+                    .filter(|(_, &yv)| yv != 0)
+                    .map(|(&xv, &yv)| xv.wrapping_mul(yv))
+                    .sum();
             vec![(RegRef::Gpr(acc), sum)]
         }),
         golden_y: None,
@@ -755,13 +785,21 @@ pub fn minmax() -> Kernel {
     let cc2 = b.cc();
     b.op(load(xk, x, k));
     b.op(cmp(CmpOp::Lt, cc0, xk, lo));
-    b.if_else(cc0, |b| {
-        b.op(copy(lo, xk));
-    }, |_| {});
+    b.if_else(
+        cc0,
+        |b| {
+            b.op(copy(lo, xk));
+        },
+        |_| {},
+    );
     b.op(cmp(CmpOp::Gt, cc1, xk, hi));
-    b.if_else(cc1, |b| {
-        b.op(copy(hi, xk));
-    }, |_| {});
+    b.if_else(
+        cc1,
+        |b| {
+            b.op(copy(hi, xk));
+        },
+        |_| {},
+    );
     b.op(add(k, k, 1i64));
     b.op(cmp(CmpOp::Ge, cc2, k, n));
     b.break_(cc2);
@@ -830,13 +868,12 @@ pub fn mac_cond() -> Kernel {
             s
         }),
         golden_regs: Box::new(move |d| {
-            let sum: i64 = d
-                .x
-                .iter()
-                .zip(&d.y)
-                .filter(|(&xv, _)| xv > d.t)
-                .map(|(&xv, &yv)| xv.wrapping_mul(yv))
-                .sum();
+            let sum: i64 =
+                d.x.iter()
+                    .zip(&d.y)
+                    .filter(|(&xv, _)| xv > d.t)
+                    .map(|(&xv, &yv)| xv.wrapping_mul(yv))
+                    .sum();
             vec![(RegRef::Gpr(acc), sum)]
         }),
         golden_y: None,
@@ -947,8 +984,7 @@ mod tests {
     fn single_element_inputs_work() {
         for kernel in all_kernels() {
             let data = KernelData::random(11, 1);
-            let run =
-                run_reference(&kernel.spec, kernel.initial_state(&data), 100_000).unwrap();
+            let run = run_reference(&kernel.spec, kernel.initial_state(&data), 100_000).unwrap();
             kernel.check(&run.state, &data).unwrap();
             assert_eq!(run.iterations, 1, "{}", kernel.name);
         }

@@ -197,7 +197,6 @@ impl Ctx {
         }
         Ok(())
     }
-
 }
 
 /// Lower a parsed kernel.
@@ -217,11 +216,7 @@ pub fn lower(k: &Kernel) -> Result<psp_ir::LoopSpec, LowerError> {
         ctx.regs.insert(s.clone(), r);
     }
     ctx.lower_stmts(&k.body)?;
-    let live_in: Vec<Reg> = ctx
-        .params
-        .iter()
-        .map(|p| ctx.regs[p])
-        .collect();
+    let live_in: Vec<Reg> = ctx.params.iter().map(|p| ctx.regs[p]).collect();
     let mut live_out = Vec::new();
     for o in &k.outs {
         match ctx.regs.get(o) {

@@ -12,7 +12,11 @@ pub fn to_dot(prog: &VliwLoop) -> String {
     let mut out = String::new();
     let esc = |s: String| s.replace('\\', "\\\\").replace('"', "\\\"");
     writeln!(out, "digraph \"{}\" {{", esc(prog.name.clone())).unwrap();
-    writeln!(out, "  rankdir=TB; node [shape=box, fontname=\"monospace\"];").unwrap();
+    writeln!(
+        out,
+        "  rankdir=TB; node [shape=box, fontname=\"monospace\"];"
+    )
+    .unwrap();
 
     if !prog.prologue.is_empty() {
         let mut label = String::from("preloop\\l");

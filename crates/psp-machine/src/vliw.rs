@@ -477,7 +477,10 @@ mod tests {
         let b1 = VliwBlock {
             id: 1,
             matrix: PredicateMatrix::universe(),
-            cycles: vec![vec![add(Reg(0), Reg(0), Reg(1))], vec![copy(Reg(2), Reg(0))]],
+            cycles: vec![
+                vec![add(Reg(0), Reg(0), Reg(1))],
+                vec![copy(Reg(2), Reg(0))],
+            ],
             term: VliwTerm::Jump(Succ::back(0)),
         };
         let l = VliwLoop {

@@ -385,10 +385,7 @@ mod tests {
         // Actual set {[1 b], [0 1]}: executed on both outcomes of the
         // current IF when the previous outcome was True, else only on True
         // of the current. Columns here: -1 = previous, 0 = current.
-        let s = PathSet::from_matrices([
-            m(&[(0, -1, true)]),
-            m(&[(0, -1, false), (0, 0, true)]),
-        ]);
+        let s = PathSet::from_matrices([m(&[(0, -1, true)]), m(&[(0, -1, false), (0, 0, true)])]);
         assert_eq!(s.len(), 2);
         assert!(s.admits(&outcome(&[((0, -1), true), ((0, 0), false)])));
         assert!(s.admits(&outcome(&[((0, -1), false), ((0, 0), true)])));

@@ -12,11 +12,8 @@ const COL_LO: i32 = -2;
 const COL_HI: i32 = 2;
 
 fn arb_matrix() -> impl Strategy<Value = PredicateMatrix> {
-    proptest::collection::vec(
-        ((0..ROWS), (COL_LO..=COL_HI), any::<bool>()),
-        0..6,
-    )
-    .prop_map(PredicateMatrix::from_entries)
+    proptest::collection::vec(((0..ROWS), (COL_LO..=COL_HI), any::<bool>()), 0..6)
+        .prop_map(PredicateMatrix::from_entries)
 }
 
 fn arb_pathset() -> impl Strategy<Value = PathSet> {
@@ -24,15 +21,18 @@ fn arb_pathset() -> impl Strategy<Value = PathSet> {
 }
 
 fn arb_outcomes() -> impl Strategy<Value = OutcomeMap> {
-    proptest::collection::vec(any::<bool>(), (ROWS as usize) * ((COL_HI - COL_LO + 1) as usize))
-        .prop_map(|bits| {
-            let mut i = 0;
-            OutcomeMap::from_fn(ROWS, COL_LO, COL_HI, |_, _| {
-                let b = bits[i];
-                i += 1;
-                b
-            })
+    proptest::collection::vec(
+        any::<bool>(),
+        (ROWS as usize) * ((COL_HI - COL_LO + 1) as usize),
+    )
+    .prop_map(|bits| {
+        let mut i = 0;
+        OutcomeMap::from_fn(ROWS, COL_LO, COL_HI, |_, _| {
+            let b = bits[i];
+            i += 1;
+            b
         })
+    })
 }
 
 /// Enumerate all total outcome assignments over the window restricted to the

@@ -146,9 +146,13 @@ mod tests {
         b.op(load(xk, x, k));
         b.op(load(xm, x, m));
         b.op(cmp(CmpOp::Lt, cc0, xk, xm));
-        b.if_else(cc0, |b| {
-            b.op(copy(m, k));
-        }, |_| {});
+        b.if_else(
+            cc0,
+            |b| {
+                b.op(copy(m, k));
+            },
+            |_| {},
+        );
         b.op(add(k, k, one));
         b.op(cmp(CmpOp::Ge, cc1, k, n));
         b.break_(cc1);
@@ -223,13 +227,8 @@ mod tests {
         if let Some(op) = bad.blocks[0].cycles[2].get_mut(1) {
             op.guard = Some(Guard::unless(CcReg(0)));
         }
-        let err = check_equivalence(
-            &vecmin_spec(),
-            &bad,
-            &initial(vec![5, 3, 8, 1]),
-            100_000,
-        )
-        .unwrap_err();
+        let err = check_equivalence(&vecmin_spec(), &bad, &initial(vec![5, 3, 8, 1]), 100_000)
+            .unwrap_err();
         assert!(matches!(err, EquivalenceError::Register { .. }));
     }
 
@@ -237,9 +236,8 @@ mod tests {
     fn detects_array_corruption() {
         let mut bad = fig1b_prog();
         bad.blocks[0].cycles[0].push(store(ArrayId(0), Reg(2), 99i64));
-        let err =
-            check_equivalence(&vecmin_spec(), &bad, &initial(vec![5, 3, 8, 1]), 100_000)
-                .unwrap_err();
+        let err = check_equivalence(&vecmin_spec(), &bad, &initial(vec![5, 3, 8, 1]), 100_000)
+            .unwrap_err();
         assert!(matches!(err, EquivalenceError::Array { .. }));
     }
 

@@ -33,6 +33,6 @@ pub mod vliw_run;
 pub use equiv::{check_equivalence, EquivalenceError};
 pub use profile::BranchProfile;
 pub use reference::{run_reference, RefRun};
-pub use trace::{trace_vliw, Phase, TraceEvent};
 pub use state::{MachineState, SimError};
+pub use trace::{trace_vliw, Phase, TraceEvent};
 pub use vliw_run::{run_vliw, VliwRun};

@@ -33,10 +33,7 @@ impl BranchProfile {
 
     /// A profile with explicitly given probabilities.
     pub fn with_probs(p_true: Vec<f64>) -> Self {
-        Self {
-            p_true,
-            samples: 0,
-        }
+        Self { p_true, samples: 0 }
     }
 
     /// Estimate from a reference-run trace. IFs that never executed get
@@ -118,9 +115,13 @@ mod tests {
         let cc1 = b.cc();
         b.op(load(xk, x, k));
         b.op(cmp(CmpOp::Gt, cc0, xk, 0i64));
-        b.if_else(cc0, |b| {
-            b.op(add(acc, acc, xk));
-        }, |_| {});
+        b.if_else(
+            cc0,
+            |b| {
+                b.op(add(acc, acc, xk));
+            },
+            |_| {},
+        );
         b.op(add(k, k, one));
         b.op(cmp(CmpOp::Ge, cc1, k, n));
         b.break_(cc1);

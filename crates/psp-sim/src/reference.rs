@@ -132,9 +132,13 @@ mod tests {
         b.op(load(xk, x, k));
         b.op(load(xm, x, m));
         b.op(cmp(CmpOp::Lt, cc0, xk, xm));
-        b.if_else(cc0, |b| {
-            b.op(copy(m, k));
-        }, |_| {});
+        b.if_else(
+            cc0,
+            |b| {
+                b.op(copy(m, k));
+            },
+            |_| {},
+        );
         b.op(add(k, k, one));
         b.op(cmp(CmpOp::Ge, cc1, k, n));
         b.break_(cc1);

@@ -146,9 +146,12 @@ impl MachineState {
             }
         }
         Ok(match op.kind {
-            OpKind::Alu { op: a, dst, a: x, b: y } => {
-                Effect::Gpr(dst.0, a.eval(self.operand(x)?, self.operand(y)?))
-            }
+            OpKind::Alu {
+                op: a,
+                dst,
+                a: x,
+                b: y,
+            } => Effect::Gpr(dst.0, a.eval(self.operand(x)?, self.operand(y)?)),
             OpKind::Copy { dst, src } => Effect::Gpr(dst.0, self.operand(src)?),
             OpKind::Select {
                 dst,
@@ -163,9 +166,12 @@ impl MachineState {
                 };
                 Effect::Gpr(dst.0, v)
             }
-            OpKind::Cmp { op: c, dst, a: x, b: y } => {
-                Effect::Cc(dst.0, c.eval(self.operand(x)?, self.operand(y)?))
-            }
+            OpKind::Cmp {
+                op: c,
+                dst,
+                a: x,
+                b: y,
+            } => Effect::Cc(dst.0, c.eval(self.operand(x)?, self.operand(y)?)),
             OpKind::CcAnd {
                 dst,
                 a,
@@ -286,7 +292,8 @@ mod tests {
         s.regs[0] = 1;
         s.regs[1] = 2;
         // Swap in one cycle — only possible with parallel semantics.
-        s.step_cycle(&[copy(Reg(0), Reg(1)), copy(Reg(1), Reg(0))]).unwrap();
+        s.step_cycle(&[copy(Reg(0), Reg(1)), copy(Reg(1), Reg(0))])
+            .unwrap();
         assert_eq!((s.regs[0], s.regs[1]), (2, 1));
     }
 
@@ -343,7 +350,8 @@ mod tests {
         let mut s = state();
         s.regs[0] = 3;
         s.regs[1] = 3;
-        s.step_cycle(&[cmp(CmpOp::Ge, CcReg(1), Reg(0), Reg(1))]).unwrap();
+        s.step_cycle(&[cmp(CmpOp::Ge, CcReg(1), Reg(0), Reg(1))])
+            .unwrap();
         assert!(s.ccs[1]);
         let (broke, _) = s.step_cycle(&[break_(CcReg(1))]).unwrap();
         assert!(broke);
@@ -366,10 +374,12 @@ mod tests {
         s.ccs[0] = true;
         s.regs[1] = 10;
         s.regs[2] = 20;
-        s.step_cycle(&[select(Reg(0), CcReg(0), Reg(1), Reg(2))]).unwrap();
+        s.step_cycle(&[select(Reg(0), CcReg(0), Reg(1), Reg(2))])
+            .unwrap();
         assert_eq!(s.regs[0], 10);
         s.ccs[0] = false;
-        s.step_cycle(&[select(Reg(0), CcReg(0), Reg(1), Reg(2))]).unwrap();
+        s.step_cycle(&[select(Reg(0), CcReg(0), Reg(1), Reg(2))])
+            .unwrap();
         assert_eq!(s.regs[0], 20);
     }
 

@@ -72,11 +72,11 @@ pub fn trace_vliw(
     let mut iterations: u64 = 1;
 
     let record = |events: &mut Vec<TraceEvent>,
-                      state: &MachineState,
-                      phase: Phase,
-                      cycle: usize,
-                      ops: &[Operation],
-                      time: u64|
+                  state: &MachineState,
+                  phase: Phase,
+                  cycle: usize,
+                  ops: &[Operation],
+                  time: u64|
      -> Result<bool, SimError> {
         // Evaluate squash status against pre-cycle state for the trace.
         let mut statuses = Vec::with_capacity(ops.len());
@@ -102,14 +102,7 @@ pub fn trace_vliw(
     };
 
     for (i, cycle) in prog.prologue.iter().enumerate() {
-        record(
-            &mut events,
-            &state,
-            Phase::Prologue,
-            i,
-            cycle,
-            total_cycles,
-        )?;
+        record(&mut events, &state, Phase::Prologue, i, cycle, total_cycles)?;
         total_cycles += 1;
         let (broke, _) = state.step_cycle(cycle)?;
         if broke {

@@ -232,10 +232,7 @@ mod tests {
         let b0 = VliwBlock {
             id: 0,
             matrix: PredicateMatrix::universe(),
-            cycles: vec![
-                vec![break_(CcReg(0))],
-                vec![copy(Reg(0), 42i64)],
-            ],
+            cycles: vec![vec![break_(CcReg(0))], vec![copy(Reg(0), 42i64)]],
             term: VliwTerm::Jump(Succ::back(0)),
         };
         let prog = psp_machine::VliwLoop {

@@ -11,10 +11,7 @@ use psp::prelude::*;
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "vecmin".into());
-    let len: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(512);
+    let len: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
 
     let kernel = by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown kernel `{name}`; available:");
@@ -27,7 +24,10 @@ fn main() {
     let data = KernelData::random(7, len);
     let init = kernel.initial_state(&data);
 
-    println!("kernel: {} ({}), n = {len}", kernel.name, kernel.description);
+    println!(
+        "kernel: {} ({}), n = {len}",
+        kernel.name, kernel.description
+    );
     println!(
         "{:<14} {:>9} {:>12} {:>12} {:>9}",
         "compiler", "II", "body cycles", "cycles/iter", "speedup"

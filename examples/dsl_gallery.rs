@@ -115,8 +115,7 @@ fn main() {
         "kernel", "seq II", "psp II", "cycles/iter", "speedup"
     );
     for e in gallery() {
-        let spec = psp::lang::compile(e.src)
-            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        let spec = psp::lang::compile(e.src).unwrap_or_else(|err| panic!("{}: {err}", e.name));
         spec.validate().expect("valid spec");
 
         let data = KernelData::random(17, len);
@@ -138,7 +137,13 @@ fn main() {
         let psp_ii = res
             .program
             .ii_range()
-            .map(|(a, b)| if a == b { format!("{a}") } else { format!("{a}..{b}") })
+            .map(|(a, b)| {
+                if a == b {
+                    format!("{a}")
+                } else {
+                    format!("{a}..{b}")
+                }
+            })
             .unwrap_or_default();
         println!(
             "{:<42} {:>8} {:>8} {:>12.2} {:>8.2}x",

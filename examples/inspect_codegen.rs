@@ -8,8 +8,8 @@
 //! ```
 //! The trace is printed to stderr so the DOT on stdout stays clean.
 
-use psp::prelude::*;
 use psp::machine::to_dot;
+use psp::prelude::*;
 use psp::sim::trace_vliw;
 
 fn main() {

@@ -54,7 +54,10 @@ fn main() {
         PredicateMatrix::single(0, 1, true),
     ]);
     for p in [0.1, 0.5, 0.9] {
-        println!("P({set}) with p(True) = {p}: {:.3}", set.probability(|_, _| p));
+        println!(
+            "P({set}) with p(True) = {p}: {:.3}",
+            set.probability(|_, _| p)
+        );
     }
     println!();
 

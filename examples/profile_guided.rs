@@ -19,7 +19,10 @@ fn main() {
     let machine = MachineConfig::narrow(2, 1, 1);
     let len = 2000;
 
-    println!("kernel: {} — if (x[k] > t) {{ acc += x[k]; cnt += 1; }}", kernel.name);
+    println!(
+        "kernel: {} — if (x[k] > t) {{ acc += x[k]; cnt += 1; }}",
+        kernel.name
+    );
     println!(
         "{:>6} {:>10} {:>16} {:>16} {:>16}",
         "p", "profiled", "static cyc/iter", "guided cyc/iter", "E[II] (guided)"
@@ -44,7 +47,9 @@ fn main() {
         };
         let g = pipeline_loop(&kernel.spec, &cfg).unwrap();
         let (_, run_g) = check_equivalence(&kernel.spec, &g.program, &init, 100_000_000).unwrap();
-        kernel.check(&run_g.state, &data).expect("guided result correct");
+        kernel
+            .check(&run_g.state, &data)
+            .expect("guided result correct");
 
         println!(
             "{:>6.2} {:>10.3} {:>16.3} {:>16.3} {:>16.3}",

@@ -109,7 +109,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let rest = argv.get(1..).unwrap_or_default();
     let mut it = rest.iter().peekable();
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                     flag: &str|
+                 flag: &str|
      -> Result<String, String> {
         it.next()
             .cloned()
@@ -118,12 +118,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--emit" => a.emit = value(&mut it, arg)?,
-            "--n" => a.n = value(&mut it, arg)?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--n" => {
+                a.n = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("--n: {e}"))?
+            }
             "--seed" => {
-                a.seed = value(&mut it, arg)?.parse().map_err(|e| format!("--seed: {e}"))?
+                a.seed = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
             }
             "--unroll" => {
-                a.unroll = value(&mut it, arg)?.parse().map_err(|e| format!("--unroll: {e}"))?
+                a.unroll = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("--unroll: {e}"))?
             }
             "--set" => {
                 let v = value(&mut it, arg)?;
@@ -135,7 +143,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--profile" => a.profile = true,
             "--trace" => {
-                a.trace = value(&mut it, arg)?.parse().map_err(|e| format!("--trace: {e}"))?
+                a.trace = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("--trace: {e}"))?
             }
             "--machine" => {
                 let v = value(&mut it, arg)?;
@@ -151,20 +161,25 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 a.machine.n_branch = br;
             }
             "--load-latency" => {
-                a.machine.load_latency =
-                    value(&mut it, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+                a.machine.load_latency = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("{arg}: {e}"))?
             }
             "--cmp-latency" => {
-                a.machine.cmp_latency =
-                    value(&mut it, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+                a.machine.cmp_latency = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("{arg}: {e}"))?
             }
             "--alu-latency" => {
-                a.machine.alu_latency =
-                    value(&mut it, arg)?.parse().map_err(|e| format!("{arg}: {e}"))?
+                a.machine.alu_latency = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("{arg}: {e}"))?
             }
             "--no-spec-loads" => a.machine.speculative_loads = false,
             "--depth" => {
-                a.depth = value(&mut it, arg)?.parse().map_err(|e| format!("--depth: {e}"))?
+                a.depth = value(&mut it, arg)?
+                    .parse()
+                    .map_err(|e| format!("--depth: {e}"))?
             }
             "--no-split" => a.split = false,
             "--no-rename" => a.rename = false,
@@ -199,7 +214,8 @@ impl Args {
         let path = self.file.as_deref().ok_or("missing input file")?;
         let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let spec = psp::lang::compile(&src).map_err(|e| format!("{path}: {e}"))?;
-        spec.validate().map_err(|e| format!("{path}: invalid loop: {e}"))?;
+        spec.validate()
+            .map_err(|e| format!("{path}: invalid loop: {e}"))?;
         Ok(spec)
     }
 }
@@ -300,8 +316,14 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
         "cfg" => println!("\n{}", res.program),
         "dot" => println!("\n{}", to_dot(&res.program)),
         "all" => {
-            println!("\n== schedule (paper Figure 2 style) ==\n{}", res.schedule.render());
-            println!("== generated loop (paper Figure 3 style) ==\n{}", res.program);
+            println!(
+                "\n== schedule (paper Figure 2 style) ==\n{}",
+                res.schedule.render()
+            );
+            println!(
+                "== generated loop (paper Figure 3 style) ==\n{}",
+                res.program
+            );
         }
         other => return Err(format!("--emit {other}: expected schedule|cfg|dot|all")),
     }
@@ -406,7 +428,10 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_kernels() {
-    println!("{:<18} {:>6} {:>5} {:>4}  description", "name", "ops", "ifs", "regs");
+    println!(
+        "{:<18} {:>6} {:>5} {:>4}  description",
+        "name", "ops", "ifs", "regs"
+    );
     for k in psp::kernels::all_kernels() {
         println!(
             "{:<18} {:>6} {:>5} {:>4}  {}",

@@ -35,7 +35,11 @@ fn vecmin_file() -> PathBuf {
 fn compile_reports_paper_ii_and_emits_schedule_and_cfg() {
     let f = vecmin_file();
     let out = pspc(&["compile", f.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("II 2"), "paper Fig. 1c II:\n{text}");
     assert!(text.contains("== schedule"), "{text}");
@@ -58,7 +62,11 @@ fn compile_emit_dot_is_wellformed_graphviz() {
 fn run_executes_and_verifies() {
     let f = vecmin_file();
     let out = pspc(&["run", f.to_str().unwrap(), "--n", "64", "--seed", "7"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("executed 64 iterations"), "{text}");
     assert!(text.contains("verified"), "{text}");
@@ -69,7 +77,11 @@ fn run_executes_and_verifies() {
 fn run_profile_measures_and_uses_branch_probabilities() {
     let f = vecmin_file();
     let out = pspc(&["run", f.to_str().unwrap(), "--n", "128", "--profile"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("measured branch profile"), "{text}");
     assert!(text.contains("verified"), "{text}");
@@ -79,7 +91,11 @@ fn run_profile_measures_and_uses_branch_probabilities() {
 fn run_trace_shows_cycles_and_squashed_guards() {
     let f = vecmin_file();
     let out = pspc(&["run", f.to_str().unwrap(), "--n", "16", "--trace", "8"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("first 8 cycles"), "{text}");
     assert!(text.contains("pre "), "prologue cycles traced:\n{text}");
@@ -92,9 +108,19 @@ fn run_trace_shows_cycles_and_squashed_guards() {
 fn compare_runs_every_technique_and_psp_wins() {
     let f = vecmin_file();
     let out = pspc(&["compare", f.to_str().unwrap(), "--n", "256"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
-    for label in ["sequential", "local scheduling", "unroll x4", "EMS modulo", "PSP"] {
+    for label in [
+        "sequential",
+        "local scheduling",
+        "unroll x4",
+        "EMS modulo",
+        "PSP",
+    ] {
         assert!(text.contains(label), "missing {label}:\n{text}");
     }
     assert!(text.contains("all compiled loops verified"), "{text}");
@@ -133,7 +159,10 @@ fn machine_and_technique_flags_change_the_result() {
     ]);
     assert!(depth0.status.success());
     let depth0 = String::from_utf8(depth0.stdout).unwrap();
-    assert!(depth0.contains("II 3"), "depth 0 = local scheduling:\n{depth0}");
+    assert!(
+        depth0.contains("II 3"),
+        "depth 0 = local scheduling:\n{depth0}"
+    );
     assert!(depth0.contains("depth 0"), "{depth0}");
 }
 
@@ -198,11 +227,12 @@ fn set_controls_initial_registers() {
             "--set",
             &format!("t={t}"),
         ]);
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-        let text = String::from_utf8(out.stdout).unwrap();
         assert!(
-            text.contains(&format!("cnt = {expect}")),
-            "t={t}:\n{text}"
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
         );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains(&format!("cnt = {expect}")), "t={t}:\n{text}");
     }
 }

@@ -27,10 +27,7 @@ fn machines() -> Vec<MachineConfig> {
 }
 
 fn inputs(len: usize) -> Vec<KernelData> {
-    let mut out = vec![
-        KernelData::random(1, len),
-        KernelData::random(2, len),
-    ];
+    let mut out = vec![KernelData::random(1, len), KernelData::random(2, len)];
     // Adversarial shapes.
     let mut all_equal = KernelData::random(3, len);
     all_equal.x.iter_mut().for_each(|v| *v = 7);

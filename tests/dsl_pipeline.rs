@@ -89,8 +89,7 @@ fn run_case(case: &Case, machine: &MachineConfig, len: usize) {
     }
     (case.setup)(&mut init, &data);
 
-    let res = pipeline_loop(&spec, &PspConfig::with_machine(machine.clone()))
-        .expect("pipelines");
+    let res = pipeline_loop(&spec, &PspConfig::with_machine(machine.clone())).expect("pipelines");
     let (golden, run) =
         check_equivalence(&spec, &res.program, &init, 100_000_000).expect("equivalent");
     let (reg, f) = case.golden;

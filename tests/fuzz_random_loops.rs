@@ -8,9 +8,9 @@
 //! shapes nobody hand-picked.
 
 use proptest::prelude::*;
-use psp::prelude::*;
 use psp::ir::op::build;
 use psp::ir::{AluOp, CmpOp, LoopBuilder, Operand, Reg};
+use psp::prelude::*;
 
 /// Register universe of a generated loop: R0=n, R1=k, R2=acc, R3..=scratch.
 const N: Reg = Reg(0);
@@ -21,11 +21,11 @@ const N_SCRATCH: u32 = 3;
 
 #[derive(Debug, Clone)]
 enum S {
-    Alu(u8, u8, u8, u8),     // op, dst(scratch), a(operand), b(operand)
-    LoadX(u8),               // dst(scratch)
-    LoadY(u8),               // dst(scratch)
-    AccAdd(u8),              // operand
-    StoreY(u8),              // operand
+    Alu(u8, u8, u8, u8),            // op, dst(scratch), a(operand), b(operand)
+    LoadX(u8),                      // dst(scratch)
+    LoadY(u8),                      // dst(scratch)
+    AccAdd(u8),                     // operand
+    StoreY(u8),                     // operand
     If(u8, u8, u8, Vec<S>, Vec<S>), // cmp, a, b, then, else
 }
 
@@ -192,4 +192,40 @@ proptest! {
             .expect("psp pipelines");
         check_prog(&spec, &res.program, "psp-narrow");
     }
+}
+
+/// The shrunk counterexample recorded in `fuzz_random_loops.proptest-regressions`
+/// (nested IFs whose inner predicate feeds a conditional accumulation),
+/// pinned as an explicit test so the case survives even when the proptest
+/// runner does not replay the regressions file.
+#[test]
+fn regression_nested_if_conditional_accumulate() {
+    let body = vec![
+        S::If(0, 98, 117, vec![S::LoadX(2)], vec![]),
+        S::If(
+            3,
+            0,
+            135,
+            vec![S::If(2, 0, 1, vec![S::Alu(1, 0, 19, 53)], vec![])],
+            vec![],
+        ),
+        S::If(
+            0,
+            41,
+            132,
+            vec![S::Alu(0, 1, 82, 51), S::AccAdd(152)],
+            vec![],
+        ),
+    ];
+    let spec = build_spec(&body);
+    assert!(spec.validate().is_ok());
+    let wide = MachineConfig::paper_default();
+    check_prog(&spec, &compile_sequential(&spec), "seq");
+    check_prog(&spec, &compile_local(&spec, &wide), "local");
+    check_prog(&spec, &compile_unrolled(&spec, 3, &wide), "unroll3");
+    let res = pipeline_loop(&spec, &PspConfig::default()).expect("psp pipelines");
+    check_prog(&spec, &res.program, "psp");
+    let narrow = MachineConfig::narrow(2, 1, 1);
+    let res = pipeline_loop(&spec, &PspConfig::with_machine(narrow)).expect("psp pipelines");
+    check_prog(&spec, &res.program, "psp-narrow");
 }

@@ -1,9 +1,9 @@
 //! The paper's concrete artifacts as executable assertions — the canonical
 //! record behind EXPERIMENTS.md.
 
-use psp::prelude::*;
 use psp::core::transform::{moveup, wrap_up};
 use psp::machine::VliwTerm;
+use psp::prelude::*;
 
 /// Figure 1(a): sequential II is 7 and 8 cycles for the two paths.
 #[test]
@@ -64,14 +64,19 @@ fn fig2_schedule_shape() {
         .collect();
     assert_eq!(
         indices,
-        vec![vec![0], vec![0], vec![0], vec![0], vec![1, 1], vec![1], vec![1]]
+        vec![
+            vec![0],
+            vec![0],
+            vec![0],
+            vec![0],
+            vec![1, 1],
+            vec![1],
+            vec![1]
+        ]
     );
     // The COPY keeps its formal matrix [1] at column 0 while the wrapped
     // IF computes p(+1): speculation-free cross-iteration control.
-    assert_eq!(
-        sched.rows[0][0].formal,
-        PredicateMatrix::single(0, 0, true)
-    );
+    assert_eq!(sched.rows[0][0].formal, PredicateMatrix::single(0, 0, true));
     let log = sched.iflog();
     assert!(log.available_before(0, 0, 0), "p(0) known at loop entry");
 }

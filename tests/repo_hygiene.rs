@@ -1,0 +1,47 @@
+//! Repository-hygiene checks.
+//!
+//! A stray `src/crates/` tree once shipped inside `psp-kernels` (a debug
+//! artifact from a mis-pasted path). Nothing referenced it, so the build
+//! never noticed. This test walks every crate's `src/` and fails if such a
+//! nested tree reappears; CI additionally greps for it.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of the root `psp` package IS the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn walk(dir: &Path, hits: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "crates")
+                && path
+                    .parent()
+                    .and_then(|p| p.file_name())
+                    .is_some_and(|n| n == "src")
+            {
+                hits.push(path);
+            } else {
+                walk(&path, hits);
+            }
+        }
+    }
+}
+
+#[test]
+fn no_nested_src_crates_directories() {
+    let root = workspace_root();
+    let mut hits = Vec::new();
+    walk(&root.join("src"), &mut hits);
+    walk(&root.join("crates"), &mut hits);
+    walk(&root.join("vendor"), &mut hits);
+    assert!(
+        hits.is_empty(),
+        "stray src/crates/ trees (debug artifacts?): {hits:?}"
+    );
+}

@@ -1,0 +1,222 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the benching surface it uses: `Criterion`, `benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is a simple adaptive timer (warm-up iteration, then repeat
+//! until ~200 ms or 1000 iterations) reporting the mean per-iteration time.
+//! Like upstream, when the binary is not invoked with `--bench` (e.g. under
+//! `cargo test`, which runs `harness = false` bench targets directly) each
+//! benchmark body executes exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Whether a full measurement was requested (`--bench` on the command line,
+/// which `cargo bench` passes and `cargo test` does not).
+fn full_measurement() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Benchmark label: `name` or `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Declared throughput of a benchmark (accepted, reported alongside time).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    label: String,
+    throughput: Option<Throughput>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !full_measurement() {
+            black_box(f());
+            println!(
+                "bench {:<40} smoke-tested (pass --bench to measure)",
+                self.label
+            );
+            return;
+        }
+        // Warm-up.
+        black_box(f());
+        let budget = Duration::from_millis(200);
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget && iters < 1000 {
+            black_box(f());
+            iters += 1;
+        }
+        let mean = start.elapsed() / iters.max(1) as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} MB/s)", n as f64 / mean.as_secs_f64() / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {:<40} {:>12.3?}/iter over {iters} iters{rate}",
+            self.label, mean
+        );
+    }
+}
+
+/// Top-level driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            label: name.to_string(),
+            throughput: None,
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkIdOrStr>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id.into().0),
+            throughput: self.throughput,
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id.0),
+            throughput: self.throughput,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts either a `&str` or a [`BenchmarkId`] as a benchmark label.
+pub struct BenchmarkIdOrStr(String);
+
+impl From<&str> for BenchmarkIdOrStr {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdOrStr {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdOrStr {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.0)
+    }
+}
+
+/// Define a benchmark group function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_smoke() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &3u64, |b, &x| {
+            b.iter(|| total += x)
+        });
+        g.finish();
+        assert!(total >= 3);
+    }
+}

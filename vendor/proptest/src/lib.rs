@@ -1,0 +1,544 @@
+//! Vendored offline stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the API subset its property tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, range and tuple strategies,
+//! [`collection::vec`], [`arbitrary::any`], [`strategy::Just`], the
+//! [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] family of macros, and
+//! a [`test_runner::Config`] honoring `PROPTEST_CASES`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (stable across runs), there is **no shrinking**, and
+//! `*.proptest-regressions` files are not replayed (pin important cases as
+//! explicit `#[test]`s instead).
+
+pub mod test_runner {
+    /// Runner configuration (subset of upstream `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for upstream compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+        /// Accepted for upstream compatibility; unused (no rejections).
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Self {
+                cases,
+                max_shrink_iters: 1024,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    /// A failed property case (carries the assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic generator driving all strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a test's fully qualified name.
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n` must be nonzero).
+        pub fn below(&mut self, n: usize) -> usize {
+            debug_assert!(n > 0);
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::sync::Arc;
+
+    /// A generator of test values (subset: generation only, no value trees
+    /// or shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build a recursive strategy: `depth` levels of `recurse` over the
+        /// leaf, choosing leaf vs. recursion uniformly at each level. The
+        /// upstream `desired_size` / `expected_branch_size` tuning knobs are
+        /// accepted and ignored.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf: BoxedStrategy<Self::Value> = BoxedStrategy::new(self);
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                cur = BoxedStrategy::new(Union::new(vec![
+                    leaf.clone(),
+                    BoxedStrategy::new(recurse(cur)),
+                ]));
+            }
+            cur
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(self)
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        pub fn new<S: Strategy<Value = T> + 'static>(s: S) -> Self {
+            BoxedStrategy(Arc::new(s))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty)*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident)+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A B);
+    tuple_strategy!(A B C);
+    tuple_strategy!(A B C D);
+    tuple_strategy!(A B C D E);
+    tuple_strategy!(A B C D E F);
+    tuple_strategy!(A B C D E F G);
+    tuple_strategy!(A B C D E F G H);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: a range or an exact size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_exclusive - self.size.lo;
+            let len = self.size.lo + if span > 1 { rng.below(span) } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty)*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property assertion: fails the current case (with a message) rather than
+/// panicking, so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{:?}` == `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: `{:?}` != `{:?}`", a, b);
+    }};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running `Config::cases` generated cases; `prop_assert*`
+/// failures report the case number. No shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(config = $config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let closure = || -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    if let ::core::result::Result::Err(e) = closure() {
+                        panic!(
+                            "proptest case {case} of {} failed: {e}\n\
+                             (vendored proptest: deterministic seed, no shrinking)",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..500 {
+            let v = Strategy::generate(&(3i32..7), &mut rng);
+            assert!((3..7).contains(&v));
+            let w = Strategy::generate(&(-2i64..=2), &mut rng);
+            assert!((-2..=2).contains(&w));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let s = crate::collection::vec(0u32..100, 0..10);
+        for _ in 0..50 {
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_roundtrip(v in crate::collection::vec(any::<u8>(), 0..8), x in 0usize..5) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(x < 5);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1u8), (2u8..9).prop_map(|x| x)]) {
+            prop_assert!(v == 1 || (2..9).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Vendored offline stand-in for the `rayon` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the data-parallel surface it uses: `vec.into_par_iter().map(f).collect()`
+//! plus a `with_threads(n)` cap. Work is distributed over `std::thread`
+//! scoped workers via an atomic work-stealing cursor; results are returned
+//! **in input order**, so a parallel map is a drop-in replacement for the
+//! sequential one (determinism does not depend on the thread count).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads used by default (the machine's available
+/// parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator (subset: owned `Vec`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self,
+            threads: 0,
+        }
+    }
+}
+
+/// A not-yet-mapped parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+    threads: usize,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Cap the worker-thread count (`0` = available parallelism).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            threads: self.threads,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator; `collect` runs the map.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    threads: usize,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Cap the worker-thread count (`0` = available parallelism).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n_items = self.items.len();
+        let threads = match self.threads {
+            0 => current_num_threads(),
+            n => n,
+        }
+        .min(n_items.max(1));
+        if threads <= 1 || n_items <= 1 {
+            return self.items.into_iter().map(self.f).collect();
+        }
+
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|x| Mutex::new(Some(x)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let out: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n_items));
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_items {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("slot lock poisoned")
+                            .take()
+                            .expect("each slot is taken exactly once");
+                        local.push((i, f(item)));
+                    }
+                    out.lock().expect("result lock poisoned").append(&mut local);
+                });
+            }
+        });
+        let mut pairs = out.into_inner().expect("result lock poisoned");
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_cap_matches_sequential() {
+        let v: Vec<i64> = (0..257).collect();
+        for threads in [1, 2, 3, 8] {
+            let got: Vec<i64> = v
+                .clone()
+                .into_par_iter()
+                .with_threads(threads)
+                .map(|x| x * x - 1)
+                .collect();
+            assert_eq!(got, v.iter().map(|x| x * x - 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let got: Vec<u8> = empty.into_par_iter().map(|x| x).collect();
+        assert!(got.is_empty());
+        let one: Vec<u8> = vec![7];
+        let got: Vec<u8> = one.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(got, vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still return in order.
+        let v: Vec<u64> = (0..64).collect();
+        let got: Vec<u64> = v
+            .into_par_iter()
+            .map(|x| {
+                let mut acc = x;
+                for _ in 0..(x % 7) * 10_000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                std::hint::black_box(acc);
+                x
+            })
+            .collect();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+}
