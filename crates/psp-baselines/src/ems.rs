@@ -10,184 +10,22 @@
 //! execute before iteration `i`'s `BREAK` resolves, which is precisely the
 //! handicap variable-II techniques avoid.
 //!
-//! The returned [`ModuloSchedule`] is machine-checked ([`ModuloSchedule::verify`])
-//! and provides an idealized cycle model ([`ModuloSchedule::estimated_cycles`]);
-//! kernel code generation with modulo variable expansion is out of scope
-//! (DESIGN.md §4).
+//! The constraint system ([`psp_opt::all_edges`]), the verified
+//! [`ModuloSchedule`] container, and the search floor
+//! (`max(res_mii, rec_mii)`, see [`psp_opt::bounds`]) are shared with the
+//! exact branch-and-bound certifier in `psp-opt`, so the greedy II found
+//! here is a feasible point of the exact solver's search space and
+//! `exact II ≤ EMS II` holds by construction. Executable kernel code for a
+//! verified schedule comes from [`psp_opt::modulo_to_vliw`].
 
-use crate::depgraph::{build_deps, induction_strides};
-use crate::ifconv::if_convert;
-use crate::rename::rename_inductions;
-use psp_ir::{mem_access, LoopSpec, Operation, RegRef};
+use psp_opt::depgraph::build_deps;
+use psp_opt::ifconv::if_convert;
+use psp_opt::rename::rename_inductions;
+pub use psp_opt::{all_edges, ModEdge, ModuloSchedule};
+
+use psp_ir::{LoopSpec, Operation};
 use psp_machine::{MachineConfig, ResourceUse};
 use psp_predicate::PredicateMatrix;
-
-/// A dependence edge with iteration distance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ModEdge {
-    /// Source operation index.
-    pub from: usize,
-    /// Target operation index.
-    pub to: usize,
-    /// Latency.
-    pub lat: u32,
-    /// Iteration distance (0 = same iteration).
-    pub dist: u32,
-}
-
-/// A verified modulo schedule.
-#[derive(Debug, Clone)]
-pub struct ModuloSchedule {
-    /// The initiation interval.
-    pub ii: u32,
-    /// Absolute issue slot of each operation within one iteration's
-    /// schedule (slot / ii = stage).
-    pub time: Vec<usize>,
-    /// Number of overlapped stages.
-    pub stages: u32,
-    /// The scheduled operations (if-converted, renamed).
-    pub ops: Vec<(Operation, PredicateMatrix)>,
-    /// All dependence edges used.
-    pub edges: Vec<ModEdge>,
-}
-
-impl ModuloSchedule {
-    /// Check every dependence (`t_to + II·dist ≥ t_from + lat`) and the
-    /// modulo resource table.
-    pub fn verify(&self, m: &MachineConfig) -> Result<(), String> {
-        for e in &self.edges {
-            let lhs = self.time[e.to] as i64 + (self.ii as i64) * e.dist as i64;
-            let rhs = self.time[e.from] as i64 + e.lat as i64;
-            if lhs < rhs {
-                return Err(format!(
-                    "edge {}→{} (lat {}, dist {}) violated: {} < {}",
-                    e.from, e.to, e.lat, e.dist, lhs, rhs
-                ));
-            }
-        }
-        let mut table = vec![ResourceUse::empty(); self.ii as usize];
-        for (i, &t) in self.time.iter().enumerate() {
-            table[t % self.ii as usize].add(&self.ops[i].0);
-        }
-        for (slot, u) in table.iter().enumerate() {
-            if !u.fits(m) {
-                return Err(format!("modulo slot {slot} over-subscribed"));
-            }
-        }
-        Ok(())
-    }
-
-    /// Idealized dynamic cycles for `iterations` iterations: fill the
-    /// pipeline once, then one II per iteration.
-    pub fn estimated_cycles(&self, iterations: u64) -> u64 {
-        (self.stages.saturating_sub(1) as u64) * self.ii as u64 + iterations * self.ii as u64
-    }
-
-    /// Resource-constrained lower bound on II for these ops.
-    pub fn res_mii(ops: &[(Operation, PredicateMatrix)], m: &MachineConfig) -> u32 {
-        let mut u = ResourceUse::empty();
-        for (op, _) in ops {
-            u.add(op);
-        }
-        let ceil = |a: u32, b: u32| a.div_ceil(b.max(1));
-        ceil(u.alu, m.n_alu)
-            .max(ceil(u.mem, m.n_mem))
-            .max(ceil(u.branch, m.n_branch))
-            .max(1)
-    }
-}
-
-/// Is this operation observable after a loop exit (store / live-out def)?
-fn is_observable(op: &Operation, live_out: &[RegRef]) -> bool {
-    op.is_store() || op.defs().iter().any(|d| live_out.contains(d))
-}
-
-/// All edges: intra-iteration (from [`build_deps`]) plus distance-1
-/// cross-iteration register, memory, and BREAK-speculation edges.
-fn all_edges(
-    ops: &[(Operation, PredicateMatrix)],
-    live_out: &[RegRef],
-    m: &MachineConfig,
-) -> Vec<ModEdge> {
-    let intra = build_deps(ops, live_out, m);
-    let mut edges: Vec<ModEdge> = Vec::new();
-    for (i, succ) in intra.succs.iter().enumerate() {
-        for &(j, lat) in succ {
-            edges.push(ModEdge {
-                from: i,
-                to: j,
-                lat,
-                dist: 0,
-            });
-        }
-    }
-    let strides = induction_strides(ops);
-    let stride_of = |r: psp_ir::Reg| strides.get(&r).copied();
-    // Cross-iteration edges (distance 1). No disjointness pruning: the
-    // predicates of different iterations are distinct instances.
-    for i in 0..ops.len() {
-        for j in 0..ops.len() {
-            let (a, _) = &ops[i];
-            let (b, _) = &ops[j];
-            // Flow: def in iteration k, use in iteration k+1 that reads it
-            // (uses at positions ≤ i read the previous iteration's value).
-            if j <= i && a.defs().iter().any(|d| b.uses().contains(d)) {
-                edges.push(ModEdge {
-                    from: i,
-                    to: j,
-                    lat: m.latency(a),
-                    dist: 1,
-                });
-            }
-            // Anti and output, distance 1 (usually slack, kept for rigor).
-            if a.uses().iter().any(|u| b.defs().contains(u)) {
-                edges.push(ModEdge {
-                    from: i,
-                    to: j,
-                    lat: 0,
-                    dist: 1,
-                });
-            }
-            if a.defs().iter().any(|d| b.defs().contains(d)) {
-                edges.push(ModEdge {
-                    from: i,
-                    to: j,
-                    lat: 1,
-                    dist: 1,
-                });
-            }
-            // Memory at distance 1 (kernel addresses are unit-stride
-            // affine with zero displacement, so distance ≥ 2 cannot alias
-            // when distance 1 does not).
-            if let (Some(ma), Some(mb)) = (mem_access(a), mem_access(b)) {
-                if ma.interferes(&mb) && ma.may_alias(&mb, 1, stride_of) {
-                    let lat = match (ma.kind, mb.kind) {
-                        (psp_ir::AccessKind::Write, psp_ir::AccessKind::Read) => 1,
-                        (psp_ir::AccessKind::Read, psp_ir::AccessKind::Write) => 0,
-                        _ => 1,
-                    };
-                    edges.push(ModEdge {
-                        from: i,
-                        to: j,
-                        lat,
-                        dist: 1,
-                    });
-                }
-            }
-            // No speculation across the exit: observables of iteration k+1
-            // wait for iteration k's BREAKs.
-            if a.is_break() && (is_observable(b, live_out) || b.is_break()) {
-                edges.push(ModEdge {
-                    from: i,
-                    to: j,
-                    lat: 1,
-                    dist: 1,
-                });
-            }
-        }
-    }
-    edges
-}
 
 /// Find the smallest feasible single II by iterative modulo scheduling.
 pub fn modulo_schedule(spec: &LoopSpec, m: &MachineConfig) -> ModuloSchedule {
@@ -199,7 +37,7 @@ pub fn modulo_schedule(spec: &LoopSpec, m: &MachineConfig) -> ModuloSchedule {
     let intra = build_deps(&ops, &live_out, m);
     let heights = intra.heights();
 
-    let mii = ModuloSchedule::res_mii(&ops, m);
+    let mii = psp_opt::res_mii(&ops, m).max(psp_opt::rec_mii(ops.len(), &edges));
     let max_ii = (4 * ops.len() as u32).max(mii + 8);
     for ii in mii..=max_ii {
         if let Some(time) = try_schedule(&ops, &edges, &heights, ii, m) {
@@ -324,6 +162,16 @@ mod tests {
                 "{}",
                 kernel.name
             );
+        }
+    }
+
+    #[test]
+    fn greedy_ii_never_beats_the_certified_floor() {
+        let m = MachineConfig::paper_default();
+        for kernel in all_kernels() {
+            let s = modulo_schedule(&kernel.spec, &m);
+            let lb = psp_opt::mii_lower_bound(&kernel.spec, &m);
+            assert!(s.ii >= lb, "{}: II {} < floor {lb}", kernel.name, s.ii);
         }
     }
 

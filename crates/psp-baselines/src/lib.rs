@@ -18,20 +18,22 @@
 //!
 //! Shared machinery: [`ifconv`] (flattening + compound-guard
 //! materialization), [`depgraph`] (dependence DAG with disjoint-path
-//! pruning), [`rename`] (induction-variable renaming), [`listsched`]
-//! (height-priority list scheduler).
+//! pruning), and [`rename`] (induction-variable renaming) now live in
+//! `psp-opt` — they are the constraint system shared between the greedy
+//! EMS baseline and the exact II certifier — and are re-exported here
+//! unchanged. [`listsched`] (height-priority list scheduler) stays local.
 
-pub mod depgraph;
 pub mod ems;
-pub mod ifconv;
 pub mod listsched;
 pub mod local;
-pub mod rename;
 pub mod seq;
 pub mod unroll;
+
+pub use psp_opt::{depgraph, ifconv, rename};
 
 pub use ems::{modulo_schedule, ModuloSchedule};
 pub use ifconv::{if_convert, IfConverted};
 pub use local::compile_local;
+pub use psp_opt::{all_edges, ModEdge};
 pub use seq::compile_sequential;
 pub use unroll::compile_unrolled;

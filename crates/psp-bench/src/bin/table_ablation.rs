@@ -1,4 +1,4 @@
-//! Experiment E8 — ablation of the design choices DESIGN.md calls out:
+//! Experiment E9 — ablation of the design choices DESIGN.md calls out:
 //! what each mechanism of the technique buys, measured as verified cycles
 //! per iteration across the kernel suite.
 //!
@@ -50,7 +50,7 @@ fn main() {
         ),
     ];
 
-    println!("E8 — ablation: verified cycles/iteration (wide machine, n = 512)\n");
+    println!("E9 — ablation: verified cycles/iteration (wide machine, n = 512)\n");
     print!("{:<16}", "kernel");
     for (label, _) in &variants {
         print!(" {label:>11}");

@@ -10,9 +10,12 @@ use psp_bench::{ii_string, measure};
 use psp_core::{pipeline_loop, PspConfig};
 use psp_kernels::{all_kernels, KernelData};
 use psp_machine::MachineConfig;
+use psp_opt::{certify, Certification, ExactConfig};
 use psp_sim::run_reference;
+use std::time::Instant;
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let machine = MachineConfig::paper_default();
     let len = 1024;
 
@@ -24,7 +27,9 @@ fn main() {
     );
 
     let mut geo: Vec<f64> = Vec::new();
+    let mut records = Vec::new();
     for kernel in all_kernels() {
+        let t_kernel = Instant::now();
         let data = KernelData::random(2024, len);
         let golden =
             run_reference(&kernel.spec, kernel.initial_state(&data), 1_000_000_000).unwrap();
@@ -69,10 +74,39 @@ fn main() {
             kernel.name
         );
         let _ = ii_string(&psp.program);
+        if json {
+            let exact = certify(
+                &kernel.spec,
+                &machine,
+                &ExactConfig::default(),
+                Some(ems.ii),
+            );
+            let lb = exact.outcome.lb();
+            records.push(format!(
+                concat!(
+                    "{{\"kernel\":\"{}\",\"ems_ii\":{},\"certified_lb\":{},",
+                    "\"certified\":{},\"ems_gap\":{},\"psp_ii\":\"{}\",",
+                    "\"psp_speedup\":{:.4},\"wall_ms\":{:.3}}}"
+                ),
+                kernel.name,
+                ems.ii,
+                lb,
+                matches!(exact.outcome, Certification::Certified(_)),
+                ems.ii - lb,
+                pspm.ii,
+                pspm.speedup,
+                t_kernel.elapsed().as_secs_f64() * 1e3,
+            ));
+        }
     }
     let g = geo.iter().map(|s| s.ln()).sum::<f64>() / geo.len() as f64;
     println!(
         "\nPSP geometric-mean speedup over sequential: {:.2}x",
         g.exp()
     );
+    if json {
+        let payload = format!("[{}]", records.join(","));
+        std::fs::write("BENCH_kernels.json", &payload).expect("write BENCH_kernels.json");
+        println!("wrote BENCH_kernels.json ({} records)", records.len());
+    }
 }

@@ -75,6 +75,16 @@ pub struct PspConfig {
     /// ([`PspStats::counters`] stays bit-identical; only wall-clock and
     /// the `pruned` counter change).
     pub enable_prune: bool,
+    /// Stop refining as soon as the primary score (maximal or expected II)
+    /// reaches this floor — typically a certified fixed-II optimum from
+    /// `psp_opt::certify`. Opt-in speed/quality trade, **not** a sound
+    /// bound on PSP itself: variable per-path II can legitimately beat the
+    /// best *fixed* II on loops with conditions (vecmin: certified fixed
+    /// floor 3, PSP reaches max II 2), so a floor equal to the fixed-II
+    /// optimum may stop the search early with a worse result than the
+    /// unrestricted run. [`PspStats::floor_hit`] records whether the stop
+    /// triggered.
+    pub exact_floor: Option<f64>,
 }
 
 impl Default for PspConfig {
@@ -89,6 +99,7 @@ impl Default for PspConfig {
             threads: 0,
             enable_memo: true,
             enable_prune: true,
+            exact_floor: None,
         }
     }
 }
@@ -170,6 +181,9 @@ pub struct PspStats {
     /// by the step winner (see [`PspConfig::enable_prune`]). Deterministic,
     /// but configuration-dependent: the exhaustive reference prunes nothing.
     pub pruned: usize,
+    /// Whether refinement stopped early because the score reached
+    /// [`PspConfig::exact_floor`].
+    pub floor_hit: bool,
     /// Per-phase wall-clock.
     pub times: PhaseTimes,
 }
@@ -197,7 +211,7 @@ impl PspStats {
             concat!(
                 "{{\"moves\":{},\"wraps\":{},\"splits\":{},\"candidates\":{},",
                 "\"rounds\":{},\"cache_hits\":{},\"cache_misses\":{},\"pruned\":{},",
-                "\"times_us\":{{\"candidate_gen\":{},\"apply\":{},",
+                "\"floor_hit\":{},\"times_us\":{{\"candidate_gen\":{},\"apply\":{},",
                 "\"compact\":{},\"codegen\":{},\"score\":{},\"total\":{}}}}}"
             ),
             self.moves,
@@ -208,6 +222,7 @@ impl PspStats {
             self.cache_hits,
             self.cache_misses,
             self.pruned,
+            self.floor_hit,
             self.times.candidate_gen.as_micros(),
             self.times.apply.as_micros(),
             self.times.compact.as_micros(),
@@ -576,7 +591,15 @@ pub fn pipeline_loop(spec: &LoopSpec, cfg: &PspConfig) -> Result<PspResult, Code
     // the following refinement).
     let mut cur_score = Some(s0);
 
-    for _depth in 0..cfg.max_depth {
+    'depth: for _depth in 0..cfg.max_depth {
+        // Covers the initial score and the post-deepening score of the
+        // previous round.
+        if let (Some(f), Some(c)) = (cfg.exact_floor, cur_score.as_ref()) {
+            if c.primary <= f {
+                stats.floor_hit = true;
+                break 'depth;
+            }
+        }
         // Refinement: strictly improving split/wrap steps on the current
         // schedule, each step's trials evaluated in parallel.
         for _step in 0..cfg.max_steps {
@@ -662,7 +685,12 @@ pub fn pipeline_loop(spec: &LoopSpec, cfg: &PspConfig) -> Result<PspResult, Code
                     if s.better_than(&best.0) {
                         best = (s.clone(), trial, prog);
                     }
+                    let hit = cfg.exact_floor.is_some_and(|f| s.primary <= f);
                     cur_score = Some(s);
+                    if hit {
+                        stats.floor_hit = true;
+                        break 'depth;
+                    }
                 }
                 None => break, // local fixpoint
             }
@@ -869,6 +897,7 @@ mod tests {
             "\"rounds\":",
             "\"cache_hits\":",
             "\"cache_misses\":",
+            "\"floor_hit\":",
             "\"times_us\":",
             "\"candidate_gen\":",
             "\"codegen\":",
@@ -890,6 +919,33 @@ mod tests {
         let seq = pipeline_loop(&kernel.spec, &PspConfig::default().sequential()).unwrap();
         assert_eq!(seq.stats.cache_hits, 0, "memo disabled must never hit");
         assert_eq!(seq.stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn exact_floor_stops_refinement_early() {
+        let kernel = by_name("vecmin").unwrap();
+        // The certified optimal *fixed* II of vecmin on the paper machine
+        // is 3; PSP's variable II reaches max 2 when unrestricted. With the
+        // certified floor installed the driver must stop at 3 and say so.
+        let floor = psp_opt::mii_lower_bound(&kernel.spec, &MachineConfig::paper_default());
+        assert_eq!(floor, 3);
+        let cfg = PspConfig {
+            exact_floor: Some(floor as f64),
+            ..PspConfig::default()
+        };
+        let res = pipeline_loop(&kernel.spec, &cfg).unwrap();
+        assert!(res.stats.floor_hit, "floor 3 is reachable, must trigger");
+        let (_, max) = res.program.ii_range().unwrap();
+        assert!(max <= 3);
+        // The early stop trades quality for time but never correctness.
+        let data = KernelData::random(9, 41);
+        let init = kernel.initial_state(&data);
+        let (_, run) = check_equivalence(&kernel.spec, &res.program, &init, 10_000_000).unwrap();
+        kernel.check(&run.state, &data).unwrap();
+
+        let unrestricted = pipeline_loop(&kernel.spec, &PspConfig::default()).unwrap();
+        assert!(!unrestricted.stats.floor_hit);
+        assert!(unrestricted.score.primary <= 2.0, "paper Fig. 1c: II = 2");
     }
 
     #[test]

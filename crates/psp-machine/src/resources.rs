@@ -29,6 +29,16 @@ impl ResourceUse {
         }
     }
 
+    /// Un-account one operation (backtracking in search-based schedulers).
+    /// The operation must have been [`add`](Self::add)ed before.
+    pub fn sub(&mut self, op: &Operation) {
+        match op.res_class() {
+            ResClass::Alu => self.alu -= 1,
+            ResClass::Mem => self.mem -= 1,
+            ResClass::Branch => self.branch -= 1,
+        }
+    }
+
     /// Sum of two usages.
     pub fn plus(self, other: Self) -> Self {
         Self {
@@ -116,6 +126,23 @@ mod tests {
         u.add(&add(Reg(0), Reg(1), Reg(2)));
         assert!(!u.can_accept(psp_ir::ResClass::Alu, &m));
         assert!(u.can_accept(psp_ir::ResClass::Mem, &m));
+    }
+
+    #[test]
+    fn sub_reverses_add() {
+        let mut u = ResourceUse::empty();
+        let op = load(Reg(3), ArrayId(0), Reg(1));
+        u.add(&op);
+        u.add(&add(Reg(0), Reg(1), Reg(2)));
+        u.sub(&op);
+        assert_eq!(
+            u,
+            ResourceUse {
+                alu: 1,
+                mem: 0,
+                branch: 0
+            }
+        );
     }
 
     #[test]

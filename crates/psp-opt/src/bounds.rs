@@ -1,0 +1,199 @@
+//! Lower bounds on the initiation interval of a fixed-II modulo schedule.
+//!
+//! * [`res_mii`] — the resource bound: each resource class must fit its
+//!   per-iteration demand into II cycles of machine width (previously
+//!   private to the EMS baseline; now the single owner).
+//! * [`rec_mii`] — the recurrence bound: the smallest II at which no
+//!   dependence cycle has positive weight under `lat − II·dist` (the
+//!   classic max-cycle-ratio bound, computed by monotone binary search
+//!   with a Floyd–Warshall positive-cycle oracle).
+//! * [`mii_lower_bound`] — `max` of both over the if-converted,
+//!   induction-renamed body: the search floor shared by the greedy EMS
+//!   scheduler and the exact certifier.
+//!
+//! Both bounds are sound for *any* scheduler of the same constraint system
+//! ([`crate::sched::all_edges`]); they say nothing about the PSP driver's
+//! variable per-path II, which may legitimately dip below `rec_mii` on some
+//! paths (that asymmetry is the paper's central claim, and exactly what
+//! `table_gap` measures).
+
+use crate::ifconv::if_convert;
+use crate::rename::rename_inductions;
+use crate::sched::{all_edges, ModEdge};
+use psp_ir::{LoopSpec, Operation};
+use psp_machine::MachineConfig;
+use psp_predicate::PredicateMatrix;
+
+/// Sentinel for "no path" in longest-path matrices. Chosen so that adding
+/// edge weights can never overflow back into the representable range.
+pub(crate) const NEG_INF: i64 = i64::MIN / 4;
+
+/// Resource-constrained lower bound on II for these ops.
+pub fn res_mii(ops: &[(Operation, PredicateMatrix)], m: &MachineConfig) -> u32 {
+    let mut u = psp_machine::ResourceUse::empty();
+    for (op, _) in ops {
+        u.add(op);
+    }
+    let ceil = |a: u32, b: u32| a.div_ceil(b.max(1));
+    ceil(u.alu, m.n_alu)
+        .max(ceil(u.mem, m.n_mem))
+        .max(ceil(u.branch, m.n_branch))
+        .max(1)
+}
+
+/// All-pairs longest paths under weights `lat − II·dist`, or `None` if the
+/// graph has a positive-weight cycle (II is recurrence-infeasible).
+///
+/// Returns the row-major `n×n` matrix `D` with `D[i·n+j]` the longest path
+/// weight from `i` to `j` (`NEG_INF` when unreachable). Any feasible
+/// schedule satisfies `t_j − t_i ≥ D[i·n+j]`, which is what both the
+/// certifier's window propagation and its instant infeasibility test use.
+pub(crate) fn longest_paths(n: usize, edges: &[ModEdge], ii: u32) -> Option<Vec<i64>> {
+    let mut d = vec![NEG_INF; n * n];
+    for i in 0..n {
+        d[i * n + i] = 0;
+    }
+    for e in edges {
+        let w = e.lat as i64 - ii as i64 * e.dist as i64;
+        let cell = &mut d[e.from * n + e.to];
+        *cell = (*cell).max(w);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[i * n + k];
+            if dik == NEG_INF {
+                continue;
+            }
+            for j in 0..n {
+                let dkj = d[k * n + j];
+                if dkj != NEG_INF && dik + dkj > d[i * n + j] {
+                    d[i * n + j] = dik + dkj;
+                }
+            }
+        }
+        // Early out: a positive self-loop means a positive cycle.
+        if (0..n).any(|i| d[i * n + i] > 0) {
+            return None;
+        }
+    }
+    Some(d)
+}
+
+/// Recurrence-constrained lower bound on II: the smallest II under which no
+/// dependence cycle needs more than `II·dist` cycles of slack.
+///
+/// Every cycle of the dependence graph contains at least one distance-1
+/// edge (the distance-0 subgraph follows program order), so cycle weights
+/// are strictly decreasing in II and the feasibility predicate is monotone:
+/// binary search applies.
+pub fn rec_mii(n_ops: usize, edges: &[ModEdge]) -> u32 {
+    if n_ops == 0 {
+        return 1;
+    }
+    let mut lo: u32 = 1;
+    let mut hi: u32 = edges
+        .iter()
+        .map(|e| e.lat as u64)
+        .sum::<u64>()
+        .max(1)
+        .min(u32::MAX as u64) as u32;
+    if longest_paths(n_ops, edges, lo).is_some() {
+        return lo;
+    }
+    // Invariant: lo infeasible, hi feasible (at II = Σlat every cycle has
+    // weight Σ_cycle lat − II·dist ≤ Σlat − II ≤ 0).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if longest_paths(n_ops, edges, mid).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// The certified search floor for fixed-II scheduling of `spec` on `m`:
+/// `max(res_mii, rec_mii)` over the if-converted, induction-renamed body.
+pub fn mii_lower_bound(spec: &LoopSpec, m: &MachineConfig) -> u32 {
+    let mut ic = if_convert(spec);
+    rename_inductions(&mut ic.ops, &mut ic.spec);
+    let edges = all_edges(&ic.ops, &ic.spec.live_out, m);
+    res_mii(&ic.ops, m).max(rec_mii(ic.ops.len(), &edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psp_ir::op::build::*;
+    use psp_ir::{CcReg, CmpOp, Reg};
+    use psp_kernels::{all_kernels, by_name};
+
+    fn u() -> PredicateMatrix {
+        PredicateMatrix::universe()
+    }
+
+    #[test]
+    fn res_mii_counts_classes() {
+        let m = MachineConfig::narrow(2, 1, 1);
+        let ops = vec![
+            (add(Reg(0), Reg(1), 1i64), u()),
+            (add(Reg(2), Reg(3), 1i64), u()),
+            (add(Reg(4), Reg(5), 1i64), u()),
+            (load(Reg(6), psp_ir::ArrayId(0), Reg(1)), u()),
+        ];
+        // 3 ALU ops / 2 ALUs = 2; 1 mem / 1 = 1.
+        assert_eq!(res_mii(&ops, &m), 2);
+    }
+
+    #[test]
+    fn rec_mii_of_simple_recurrence() {
+        // r = r + 1 every iteration with ALU latency 1: the self-cycle
+        // needs II ≥ 1. A two-op chain r → s → r of unit latencies with a
+        // distance-1 back edge needs II ≥ 2.
+        let m = MachineConfig::paper_default();
+        let ops = vec![
+            (add(Reg(0), Reg(1), 1i64), u()), // r0 = r1 + 1
+            (add(Reg(1), Reg(0), 1i64), u()), // r1 = r0 + 1
+        ];
+        let edges = all_edges(&ops, &[], &m);
+        assert_eq!(rec_mii(ops.len(), &edges), 2);
+    }
+
+    #[test]
+    fn vecmin_rec_mii_is_three() {
+        // The true recurrence of vecmin after renaming: COPY m (guarded) →
+        // LOAD x[m] → CMP → COPY m, three unit latencies per iteration.
+        let m = MachineConfig::paper_default();
+        assert_eq!(mii_lower_bound(&by_name("vecmin").unwrap().spec, &m), 3);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_a_feasible_schedule_length() {
+        // Degenerate sanity: a loop with a single break has floor 1.
+        let m = MachineConfig::paper_default();
+        let ops = vec![
+            (cmp(CmpOp::Ge, CcReg(0), Reg(0), Reg(1)), u()),
+            (break_(CcReg(0)), u()),
+        ];
+        let edges = all_edges(&ops, &[], &m);
+        assert_eq!(rec_mii(ops.len(), &edges), 1);
+        assert_eq!(res_mii(&ops, &m), 1);
+    }
+
+    #[test]
+    fn bounds_are_positive_on_all_kernels() {
+        let m = MachineConfig::paper_default();
+        let narrow = MachineConfig::narrow(1, 1, 1);
+        for kernel in all_kernels() {
+            let wide = mii_lower_bound(&kernel.spec, &m);
+            let tight = mii_lower_bound(&kernel.spec, &narrow);
+            assert!(wide >= 1, "{}", kernel.name);
+            assert!(
+                tight >= wide,
+                "{}: narrowing resources cannot lower the floor",
+                kernel.name
+            );
+        }
+    }
+}

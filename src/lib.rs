@@ -48,6 +48,7 @@
 //! | [`core`] | `psp-core` | the PSP schedule, transformations, driver, codegen |
 //! | [`sim`] | `psp-sim` | reference & VLIW interpreters, equivalence, profiling |
 //! | [`baselines`] | `psp-baselines` | sequential, local, unrolled, EMS modulo |
+//! | [`opt`] | `psp-opt` | II lower bounds, exact branch-and-bound certifier, kernel codegen |
 //! | [`kernels`] | `psp-kernels` | benchmark kernels + input generators |
 //! | [`lang`] | `psp-lang` | the mini loop DSL |
 
@@ -57,6 +58,7 @@ pub use psp_ir as ir;
 pub use psp_kernels as kernels;
 pub use psp_lang as lang;
 pub use psp_machine as machine;
+pub use psp_opt as opt;
 pub use psp_predicate as predicate;
 pub use psp_sim as sim;
 
@@ -67,6 +69,9 @@ pub mod prelude {
     pub use psp_ir::{LoopBuilder, LoopSpec};
     pub use psp_kernels::{all_kernels, by_name, Kernel, KernelData};
     pub use psp_machine::{MachineConfig, VliwLoop};
+    pub use psp_opt::{
+        certify, mii_lower_bound, modulo_to_vliw, Certification, ExactConfig, ExactResult,
+    };
     pub use psp_predicate::{PathSet, PredicateMatrix};
     pub use psp_sim::{check_equivalence, run_reference, run_vliw, BranchProfile, MachineState};
 }

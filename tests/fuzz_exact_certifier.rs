@@ -1,0 +1,77 @@
+//! Property tests for the exact II certifier (`psp-opt`) on random loops
+//! with conditions, reusing the generator of `fuzz_random_loops`.
+//!
+//! The chain that must hold for every loop the generator can produce:
+//!
+//! ```text
+//! mii_lower_bound  ≤  certified exact II  ≤  greedy EMS II
+//! ```
+//!
+//! — the left inequality because the analytic floor is sound, the right
+//! because the greedy schedule is a feasible point of the exact solver's
+//! identical constraint system. On budget exhaustion the certifier must
+//! degrade to a sound interval containing the EMS II. And any witness
+//! schedule, compiled by `psp_opt::modulo_to_vliw`, must be observationally
+//! equivalent to the source loop on real inputs.
+
+mod common;
+
+use common::*;
+use proptest::prelude::*;
+use psp::opt::{certify, Certification, ExactConfig};
+use psp::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: CASES,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn exact_ii_is_bracketed_and_executable(body in arb_body()) {
+        let spec = build_spec(&body);
+        prop_assert!(spec.validate().is_ok(), "generator produced invalid spec");
+        let m = MachineConfig::paper_default();
+
+        let ems = modulo_schedule(&spec, &m);
+        ems.verify(&m).expect("greedy schedule verifies");
+        let lb = mii_lower_bound(&spec, &m);
+        prop_assert!(lb <= ems.ii, "floor {lb} above greedy II {}", ems.ii);
+
+        let cfg = ExactConfig { max_nodes: 50_000, max_ii: None };
+        let res = certify(&spec, &m, &cfg, Some(ems.ii));
+        match res.outcome {
+            Certification::Certified(ii) => {
+                prop_assert!(lb <= ii && ii <= ems.ii,
+                    "certified {ii} outside [{lb}, {}]", ems.ii);
+            }
+            Certification::Bounded { lb: l, ub } => {
+                prop_assert!(lb <= l, "interval floor regressed below the analytic one");
+                prop_assert!(ub == Some(ems.ii), "hint must survive as the upper bound");
+                prop_assert!(l <= ems.ii, "unsound interval [{l}, {:?}]", ub);
+            }
+        }
+        if let Some(sched) = &res.schedule {
+            sched.verify(&m).expect("witness verifies");
+            let prog = modulo_to_vliw(sched, "fuzz_exact");
+            prog.validate(&m).expect("witness codegen validates");
+            check_prog(&spec, &prog, "exact");
+        }
+    }
+
+    #[test]
+    fn exact_ii_brackets_on_a_narrow_machine(body in arb_body()) {
+        let spec = build_spec(&body);
+        let m = MachineConfig::narrow(2, 1, 1);
+        let ems = modulo_schedule(&spec, &m);
+        let lb = mii_lower_bound(&spec, &m);
+        let cfg = ExactConfig { max_nodes: 50_000, max_ii: None };
+        let res = certify(&spec, &m, &cfg, Some(ems.ii));
+        prop_assert!(res.outcome.lb() >= lb && res.outcome.lb() <= ems.ii);
+        if let Some(sched) = &res.schedule {
+            sched.verify(&m).expect("witness verifies");
+            check_prog(&spec, &modulo_to_vliw(sched, "fuzz_exact_narrow"), "exact-narrow");
+        }
+    }
+}
