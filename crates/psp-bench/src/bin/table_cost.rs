@@ -4,6 +4,7 @@
 //! growth — plus a sequential-vs-parallel comparison on synthetic scaling
 //! loops, where candidate evaluation dominates.
 
+use psp_bench::synthetic;
 use psp_core::{pipeline_loop, PspConfig, PspResult, Schedule};
 use psp_kernels::all_kernels;
 use std::time::Instant;
@@ -139,35 +140,4 @@ fn main() {
             println!("  par: {}", par.stats.to_json());
         }
     }
-}
-
-/// `b` independent conditional accumulations over one loaded element.
-fn synthetic(blocks: usize) -> psp_ir::LoopSpec {
-    use psp_ir::op::build;
-    let mut b = psp_ir::LoopBuilder::new(format!("synthetic{blocks}"));
-    let x = b.array("x");
-    let n = b.named_reg("n");
-    let k = b.named_reg("k");
-    let xk = b.reg();
-    let mut live = vec![n, k];
-    b.op(build::load(xk, x, k));
-    for i in 0..blocks {
-        let acc = b.named_reg(format!("acc{i}"));
-        live.push(acc);
-        let cc = b.cc();
-        b.op(build::cmp(psp_ir::CmpOp::Gt, cc, xk, (i as i64) * 10 - 40));
-        b.if_else(
-            cc,
-            |b| {
-                b.op(build::add(acc, acc, xk));
-            },
-            |_| {},
-        );
-    }
-    b.op(build::add(k, k, 1i64));
-    let ccb = b.cc();
-    b.op(build::cmp(psp_ir::CmpOp::Ge, ccb, k, n));
-    b.break_(ccb);
-    let outs: Vec<_> = live[2..].to_vec();
-    b.finish(live.clone(), outs)
 }

@@ -86,7 +86,7 @@ fn main() {
                 concat!(
                     "{{\"kernel\":\"{}\",\"ems_ii\":{},\"certified_lb\":{},",
                     "\"certified\":{},\"ems_gap\":{},\"psp_ii\":\"{}\",",
-                    "\"psp_speedup\":{:.4},\"wall_ms\":{:.3}}}"
+                    "\"psp_speedup\":{:.4},\"wall_ms\":{:.3},\"pred\":{}}}"
                 ),
                 kernel.name,
                 ems.ii,
@@ -96,6 +96,7 @@ fn main() {
                 pspm.ii,
                 pspm.speedup,
                 t_kernel.elapsed().as_secs_f64() * 1e3,
+                psp.stats.pred.to_json(),
             ));
         }
     }

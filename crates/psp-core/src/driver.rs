@@ -26,7 +26,7 @@ use crate::schedule::Schedule;
 use crate::transform::{self, split_candidates, Transformation};
 use psp_ir::LoopSpec;
 use psp_machine::{MachineConfig, VliwLoop};
-use psp_predicate::PredicateMatrix;
+use psp_predicate::{PredOpStats, PredicateMatrix};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -184,6 +184,12 @@ pub struct PspStats {
     /// Whether refinement stopped early because the score reached
     /// [`PspConfig::exact_floor`].
     pub floor_hit: bool,
+    /// Predicate-algebra work done by this run (conjoins, disjoint/subsume
+    /// tests, interner memo hit rate). Process-global counters sampled
+    /// around the run, so like the cache telemetry they are excluded from
+    /// [`counters`](Self::counters) — concurrent runs in the same process
+    /// bleed into each other's deltas.
+    pub pred: PredOpStats,
     /// Per-phase wall-clock.
     pub times: PhaseTimes,
 }
@@ -211,8 +217,9 @@ impl PspStats {
             concat!(
                 "{{\"moves\":{},\"wraps\":{},\"splits\":{},\"candidates\":{},",
                 "\"rounds\":{},\"cache_hits\":{},\"cache_misses\":{},\"pruned\":{},",
-                "\"floor_hit\":{},\"times_us\":{{\"candidate_gen\":{},\"apply\":{},",
-                "\"compact\":{},\"codegen\":{},\"score\":{},\"total\":{}}}}}"
+                "\"floor_hit\":{},\"pred\":{},\"times_us\":{{\"candidate_gen\":{},",
+                "\"apply\":{},\"compact\":{},\"codegen\":{},\"score\":{},",
+                "\"total\":{}}}}}"
             ),
             self.moves,
             self.wraps,
@@ -223,6 +230,7 @@ impl PspStats {
             self.cache_misses,
             self.pruned,
             self.floor_hit,
+            self.pred.to_json(),
             self.times.candidate_gen.as_micros(),
             self.times.apply.as_micros(),
             self.times.compact.as_micros(),
@@ -549,6 +557,7 @@ fn evaluate_candidates(
 /// split / wrap candidates until fixpoint.
 pub fn pipeline_loop(spec: &LoopSpec, cfg: &PspConfig) -> Result<PspResult, CodegenError> {
     let t_total = Instant::now();
+    let pred_before = psp_predicate::stats::snapshot();
     let mut stats = PspStats::default();
     let memo: Option<Memo> = if cfg.enable_memo {
         Some(Mutex::new(HashMap::new()))
@@ -735,6 +744,7 @@ pub fn pipeline_loop(spec: &LoopSpec, cfg: &PspConfig) -> Result<PspResult, Code
         }
     }
 
+    stats.pred = psp_predicate::stats::snapshot().delta(&pred_before);
     stats.times.total = t_total.elapsed();
     Ok(PspResult {
         schedule: best.1,
@@ -898,6 +908,10 @@ mod tests {
             "\"cache_hits\":",
             "\"cache_misses\":",
             "\"floor_hit\":",
+            "\"pred\":",
+            "\"conjoins\":",
+            "\"disjoint_tests\":",
+            "\"memo_hit_rate\":",
             "\"times_us\":",
             "\"candidate_gen\":",
             "\"codegen\":",
@@ -906,6 +920,9 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The run must have done (and counted) real predicate work.
+        assert!(res.stats.pred.disjoint_tests > 0);
+        assert!(res.stats.pred.subsume_tests > 0);
     }
 
     #[test]

@@ -248,13 +248,53 @@ impl Schedule {
 /// `limit + 1` is found, and prunes branches that cannot reach it — this is
 /// the decision form of the max-clique question (the only form resource
 /// validation needs), far cheaper than computing the maximum exactly.
+///
+/// The pairwise disjointness tests are hoisted into one adjacency bitset
+/// per member, computed once up front: the DFS re-reads each pair many
+/// times, and over a row check this is the memoized form of the old
+/// per-node `is_disjoint` chain (each pair tested exactly once). The DFS
+/// explores the same tree and returns the same boolean.
 fn compatible_clique_exceeds(members: &[&Instance], limit: usize) -> bool {
+    let n = members.len();
+    if n > 128 {
+        return clique_exceeds_general(members, limit);
+    }
+    let mut adj = vec![0u128; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !members[i].formal.is_disjoint(&members[j].formal) {
+                adj[i] |= 1 << j;
+                adj[j] |= 1 << i;
+            }
+        }
+    }
+    fn go(adj: &[u128], chosen: u128, size: usize, from: usize, limit: usize) -> bool {
+        if size > limit {
+            return true;
+        }
+        if size + (adj.len() - from) <= limit {
+            return false; // too few candidates left to exceed the limit
+        }
+        for i in from..adj.len() {
+            // Compatible with every chosen member: chosen ⊆ neighbors(i).
+            if chosen & !adj[i] == 0 && go(adj, chosen | 1 << i, size + 1, i + 1, limit) {
+                return true;
+            }
+        }
+        false
+    }
+    go(&adj, 0, 0, 0, limit)
+}
+
+/// Fallback for rows wider than the bitset (never hit by the kernel suite;
+/// kept so pathological inputs stay correct rather than fast).
+fn clique_exceeds_general(members: &[&Instance], limit: usize) -> bool {
     fn go(members: &[&Instance], chosen: &mut Vec<usize>, from: usize, limit: usize) -> bool {
         if chosen.len() > limit {
             return true;
         }
         if chosen.len() + (members.len() - from) <= limit {
-            return false; // too few candidates left to exceed the limit
+            return false;
         }
         for i in from..members.len() {
             if chosen

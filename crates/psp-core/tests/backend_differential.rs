@@ -1,0 +1,44 @@
+//! Packed-vs-sparse backend differential over the full kernel suite.
+//!
+//! The packed bitplane algebra is a pure representation change: for every
+//! kernel, pipelining under the packed backend must produce the same
+//! transformation counters, the same final II, the same generated program
+//! text, and the same schedule rendering as the sparse reference backend
+//! (the same observable surface `driver_parallel.rs` pins across thread
+//! counts). A single `#[test]` holds both phases so no concurrently
+//! running test can interleave with the process-global backend flag while
+//! the sparse phase runs.
+
+use psp_core::driver::{pipeline_loop, PspConfig, PspResult};
+use psp_kernels::all_kernels;
+use psp_predicate::backend::with_backend;
+
+fn observe(res: &PspResult) -> (Vec<usize>, Option<(usize, usize)>, String, String) {
+    (
+        res.stats.counters().to_vec(),
+        res.program.ii_range(),
+        res.program.to_string(),
+        res.schedule.render(),
+    )
+}
+
+#[test]
+fn packed_matches_sparse_on_all_kernels() {
+    for kernel in all_kernels() {
+        for (label, cfg) in [
+            ("default", PspConfig::default()),
+            ("sequential", PspConfig::default().sequential()),
+        ] {
+            let packed = with_backend(true, || pipeline_loop(&kernel.spec, &cfg))
+                .unwrap_or_else(|e| panic!("{} (packed, {label}): {e}", kernel.name));
+            let sparse = with_backend(false, || pipeline_loop(&kernel.spec, &cfg))
+                .unwrap_or_else(|e| panic!("{} (sparse, {label}): {e}", kernel.name));
+            assert_eq!(
+                observe(&packed),
+                observe(&sparse),
+                "{} ({label}): packed backend diverged from the sparse reference",
+                kernel.name
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Process-global selection of the predicate-algebra backend.
+//!
+//! The packed bitplane representation (see [`crate::matrix`]) is the
+//! default; the sparse `BTreeMap` representation is kept as the reference
+//! implementation for differential testing and as the honest baseline of
+//! the `table_predbench` experiment. The flag is consulted at
+//! *construction* time only: matrices built in either mode interoperate
+//! (every operation falls back to a generic element-wise path on mixed
+//! inputs), so flipping the flag mid-process changes performance, never
+//! results.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static PACKED: AtomicBool = AtomicBool::new(true);
+
+/// Whether newly constructed matrices use the packed bitplane layout.
+#[inline]
+pub fn is_packed() -> bool {
+    PACKED.load(Ordering::Relaxed)
+}
+
+/// Select the backend for subsequently constructed matrices.
+pub fn set_packed(on: bool) {
+    PACKED.store(on, Ordering::Relaxed);
+}
+
+/// Run `f` with the chosen backend, restoring the previous one afterwards
+/// (also on unwind, so a failing test cannot leak its mode).
+pub fn with_backend<T>(packed: bool, f: impl FnOnce() -> T) -> T {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_packed(self.0);
+        }
+    }
+    let _restore = Restore(is_packed());
+    set_packed(packed);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_backend_restores_previous_mode() {
+        let before = is_packed();
+        let inside = with_backend(!before, is_packed);
+        assert_eq!(inside, !before);
+        assert_eq!(is_packed(), before);
+    }
+}

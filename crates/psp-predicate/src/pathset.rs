@@ -59,7 +59,8 @@ impl PathSet {
     /// Whether the set is all paths (semantic check: the representation is
     /// not canonical, so a covering union may have several members).
     pub fn is_universe(&self) -> bool {
-        self.matrices.iter().any(|m| m.is_universe()) || Self::universe().subtract(self).is_empty()
+        self.matrices.iter().any(|m| m.is_universe())
+            || self.covers_matrix(&PredicateMatrix::universe())
     }
 
     /// Number of member matrices.
@@ -102,9 +103,14 @@ impl PathSet {
         s
     }
 
-    /// Intersection with a single matrix.
+    /// Intersection with a single matrix (no clone/round-trip through a
+    /// singleton set: conjoin each member directly).
     pub fn intersect_matrix(&self, m: &PredicateMatrix) -> Self {
-        self.intersect(&Self::from_matrix(m.clone()))
+        let mut s = Self {
+            matrices: self.matrices.iter().filter_map(|a| a.conjoin(m)).collect(),
+        };
+        s.normalize();
+        s
     }
 
     /// Set difference `self \ other`.
@@ -129,7 +135,31 @@ impl PathSet {
 
     /// Whether every path of `other` lies in `self`.
     pub fn subsumes(&self, other: &Self) -> bool {
-        other.subtract(self).is_empty()
+        other.matrices.iter().all(|m| self.covers_matrix(m))
+    }
+
+    /// Whether every path of the single matrix `m` lies in `self`.
+    ///
+    /// Same staircase subtraction as [`subtract`](Self::subtract) (so the
+    /// answer is exact), but per-member, skipping the allocation of a full
+    /// difference set, with an early exit once nothing of `m` remains and a
+    /// quick sufficient check for the common single-witness case.
+    fn covers_matrix(&self, m: &PredicateMatrix) -> bool {
+        if self.matrices.iter().any(|s| s.subsumes(m)) {
+            return true;
+        }
+        let mut pieces = vec![m.clone()];
+        for sub in &self.matrices {
+            let mut next = Vec::new();
+            for p in pieces {
+                next.extend(subtract_matrix(&p, sub));
+            }
+            pieces = next;
+            if pieces.is_empty() {
+                return true;
+            }
+        }
+        false
     }
 
     /// Semantic equality: the two unions denote the same path set.
@@ -189,12 +219,15 @@ impl PathSet {
         for m in &self.matrices {
             // Subtract everything already emitted from m, emit the pieces.
             let mut pieces = vec![m.clone()];
-            for prev in out.clone() {
+            for prev in &out {
                 let mut next = Vec::new();
                 for p in pieces {
-                    next.extend(subtract_matrix(&p, &prev));
+                    next.extend(subtract_matrix(&p, prev));
                 }
                 pieces = next;
+                if pieces.is_empty() {
+                    break;
+                }
             }
             out.extend(pieces);
         }
@@ -204,23 +237,28 @@ impl PathSet {
     /// Normal form: drop subsumed members and merge complementary pairs.
     fn normalize(&mut self) {
         loop {
-            // Drop members subsumed by another member.
-            let mut i = 0;
-            while i < self.matrices.len() {
-                let mut removed = false;
-                for j in 0..self.matrices.len() {
-                    if i != j && self.matrices[j].subsumes(&self.matrices[i]) {
-                        // Tie-break equal matrices: keep the lower index.
-                        if self.matrices[j] != self.matrices[i] || j < i {
-                            self.matrices.remove(i);
-                            removed = true;
-                            break;
-                        }
+            // Drop members subsumed by another member, in one marking pass
+            // (no quadratic `remove` churn). The surviving set is the same
+            // as removing one at a time: subsumption is transitive, so a
+            // member subsumed by a removed witness is also subsumed by
+            // whatever kept that witness out, and the lower-index tie-break
+            // always leaves the first of an equal group standing.
+            let n = self.matrices.len();
+            let mut keep = vec![true; n];
+            for (i, ki) in keep.iter_mut().enumerate() {
+                for j in 0..n {
+                    if i != j
+                        && self.matrices[j].subsumes(&self.matrices[i])
+                        && (self.matrices[j] != self.matrices[i] || j < i)
+                    {
+                        *ki = false;
+                        break;
                     }
                 }
-                if !removed {
-                    i += 1;
-                }
+            }
+            if keep.iter().any(|k| !k) {
+                let mut it = keep.iter();
+                self.matrices.retain(|_| *it.next().unwrap());
             }
             // Merge one complementary pair, if any, then re-run.
             let mut merged = None;

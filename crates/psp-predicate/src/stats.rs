@@ -1,0 +1,150 @@
+//! Process-global counters of predicate-algebra work.
+//!
+//! The scheduler's hot loops bottom out in `conjoin`/`is_disjoint`/
+//! `subsumes`; these counters make that work observable (driver stats,
+//! `table_predbench`) instead of asserted. They are plain relaxed atomics:
+//! increments from rayon worker threads land in the same totals, and a
+//! caller measures a region with [`snapshot`] + [`PredOpStats::delta`].
+//! Like the driver's cache telemetry, they are *not* part of any
+//! determinism contract — concurrent work in the same process (e.g.
+//! parallel tests) shows up in everyone's deltas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CONJOINS: AtomicU64 = AtomicU64::new(0);
+static DISJOINT_TESTS: AtomicU64 = AtomicU64::new(0);
+static SUBSUME_TESTS: AtomicU64 = AtomicU64::new(0);
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn count_conjoin() {
+    CONJOINS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_disjoint_test() {
+    DISJOINT_TESTS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_subsume_test() {
+    SUBSUME_TESTS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_memo_hit() {
+    MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_memo_miss() {
+    MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A snapshot (or delta) of the predicate-op counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredOpStats {
+    /// `PredicateMatrix::conjoin` calls.
+    pub conjoins: u64,
+    /// `PredicateMatrix::is_disjoint` calls (including memo misses).
+    pub disjoint_tests: u64,
+    /// `PredicateMatrix::subsumes` calls (including memo misses).
+    pub subsume_tests: u64,
+    /// Memoized disjoint/subsume queries answered from the interner.
+    pub memo_hits: u64,
+    /// Memoized queries that had to run the underlying test.
+    pub memo_misses: u64,
+}
+
+impl PredOpStats {
+    /// Counter increments since the `since` snapshot.
+    pub fn delta(&self, since: &PredOpStats) -> PredOpStats {
+        PredOpStats {
+            conjoins: self.conjoins.saturating_sub(since.conjoins),
+            disjoint_tests: self.disjoint_tests.saturating_sub(since.disjoint_tests),
+            subsume_tests: self.subsume_tests.saturating_sub(since.subsume_tests),
+            memo_hits: self.memo_hits.saturating_sub(since.memo_hits),
+            memo_misses: self.memo_misses.saturating_sub(since.memo_misses),
+        }
+    }
+
+    /// Fraction of memoized queries answered from the memo (0 when none ran).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+
+    /// Hand-rolled JSON object (the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"conjoins\":{},\"disjoint_tests\":{},\"subsume_tests\":{},",
+                "\"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{:.4}}}"
+            ),
+            self.conjoins,
+            self.disjoint_tests,
+            self.subsume_tests,
+            self.memo_hits,
+            self.memo_misses,
+            self.memo_hit_rate(),
+        )
+    }
+}
+
+/// Current totals since process start.
+pub fn snapshot() -> PredOpStats {
+    PredOpStats {
+        conjoins: CONJOINS.load(Ordering::Relaxed),
+        disjoint_tests: DISJOINT_TESTS.load(Ordering::Relaxed),
+        subsume_tests: SUBSUME_TESTS.load(Ordering::Relaxed),
+        memo_hits: MEMO_HITS.load(Ordering::Relaxed),
+        memo_misses: MEMO_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_and_hit_rate() {
+        let before = snapshot();
+        count_conjoin();
+        count_memo_hit();
+        count_memo_hit();
+        count_memo_miss();
+        let d = snapshot().delta(&before);
+        // Other test threads may also count; deltas are lower-bounded.
+        assert!(d.conjoins >= 1);
+        assert!(d.memo_hits >= 2);
+        assert!(d.memo_misses >= 1);
+        let s = PredOpStats {
+            memo_hits: 3,
+            memo_misses: 1,
+            ..PredOpStats::default()
+        };
+        assert!((s.memo_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(PredOpStats::default().memo_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn json_is_an_object() {
+        let j = PredOpStats::default().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "conjoins",
+            "disjoint_tests",
+            "subsume_tests",
+            "memo_hits",
+            "memo_misses",
+            "memo_hit_rate",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+}
