@@ -50,6 +50,7 @@ pub fn modulo_schedule(spec: &LoopSpec, m: &MachineConfig) -> ModuloSchedule {
                 edges,
             };
             debug_assert!(sched.verify(m).is_ok());
+            psp_opt::hook::check("ems", &live_out, m, &sched);
             return sched;
         }
     }

@@ -26,13 +26,15 @@ pub fn compile_local(spec: &LoopSpec, m: &MachineConfig) -> VliwLoop {
         cycles,
         term: VliwTerm::Jump(Succ::back(0)),
     };
-    VliwLoop {
+    let prog = VliwLoop {
         name: format!("{}-local", spec.name),
         prologue: vec![],
         blocks: vec![block],
         entry: 0,
         epilogue: vec![],
-    }
+    };
+    psp_machine::hook::check("compile_local", spec, m, &prog);
+    prog
 }
 
 #[cfg(test)]

@@ -20,13 +20,20 @@ pub fn compile_sequential(spec: &LoopSpec) -> VliwLoop {
         &mut blocks,
     );
     blocks[last].term = VliwTerm::Jump(Succ::back(entry));
-    VliwLoop {
+    let prog = VliwLoop {
         name: format!("{}-seq", spec.name),
         prologue: vec![],
         blocks,
         entry,
         epilogue: vec![],
-    }
+    };
+    psp_machine::hook::check(
+        "compile_sequential",
+        spec,
+        &psp_machine::MachineConfig::sequential(),
+        &prog,
+    );
+    prog
 }
 
 fn new_block(blocks: &mut Vec<VliwBlock>, matrix: PredicateMatrix) -> BlockId {

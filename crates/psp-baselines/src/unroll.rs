@@ -94,13 +94,15 @@ pub fn compile_unrolled(spec: &LoopSpec, factor: u32, m: &MachineConfig) -> Vliw
         cycles,
         term: VliwTerm::Jump(Succ::back(0)),
     };
-    VliwLoop {
+    let prog = VliwLoop {
         name: format!("{}-unroll{}", spec.name, factor),
         prologue: vec![],
         blocks: vec![block],
         entry: 0,
         epilogue: vec![],
-    }
+    };
+    psp_machine::hook::check("compile_unrolled", spec, m, &prog);
+    prog
 }
 
 #[cfg(test)]

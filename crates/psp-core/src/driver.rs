@@ -746,6 +746,7 @@ pub fn pipeline_loop(spec: &LoopSpec, cfg: &PspConfig) -> Result<PspResult, Code
 
     stats.pred = psp_predicate::stats::snapshot().delta(&pred_before);
     stats.times.total = t_total.elapsed();
+    crate::hook::check(spec, &cfg.machine, &best.1, &best.2);
     Ok(PspResult {
         schedule: best.1,
         program: best.2,

@@ -1,0 +1,38 @@
+//! Registry for an externally installed PSP-schedule validator.
+//!
+//! Mirrors `psp_machine::hook` for the richer artifact the PSP driver
+//! produces: the encoded [`Schedule`] together with the generated
+//! [`VliwLoop`]. `psp_verify::install()` registers the checker; until then
+//! [`check`] is a no-op. Gated to debug builds unless `PSP_VALIDATE` is
+//! set.
+
+use crate::Schedule;
+use psp_ir::LoopSpec;
+use psp_machine::{MachineConfig, VliwLoop};
+use std::sync::OnceLock;
+
+/// An independent validator over the driver's winning schedule + program.
+pub type ScheduleValidator = fn(&LoopSpec, &MachineConfig, &Schedule, &VliwLoop) -> Vec<String>;
+
+static HOOK: OnceLock<ScheduleValidator> = OnceLock::new();
+
+/// Install the validator (first caller wins; later calls are ignored).
+pub fn install(f: ScheduleValidator) {
+    let _ = HOOK.set(f);
+}
+
+/// Validate the driver result; panics with every violation on rejection.
+pub fn check(spec: &LoopSpec, machine: &MachineConfig, sched: &Schedule, prog: &VliwLoop) {
+    if !psp_machine::hook::enabled() {
+        return;
+    }
+    if let Some(f) = HOOK.get() {
+        let violations = f(spec, machine, sched, prog);
+        assert!(
+            violations.is_empty(),
+            "independent validator rejected the PSP result for `{}`:\n  {}",
+            spec.name,
+            violations.join("\n  ")
+        );
+    }
+}

@@ -24,6 +24,7 @@ pub mod compact;
 pub mod deps;
 pub mod driver;
 pub mod heuristics;
+pub mod hook;
 pub mod instance;
 pub mod preloop;
 pub mod schedule;

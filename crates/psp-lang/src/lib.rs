@@ -43,11 +43,13 @@ pub mod ast;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod print;
 
 pub use ast::{BinOp, Expr, Kernel, Stmt};
 pub use lexer::{lex, LexError, Token};
 pub use lower::{lower, LowerError};
 pub use parser::{parse, ParseError};
+pub use print::{print_expr, print_kernel};
 
 /// Parse and lower a kernel in one step.
 pub fn compile(src: &str) -> Result<psp_ir::LoopSpec, CompileError> {

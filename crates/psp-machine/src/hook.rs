@@ -1,0 +1,45 @@
+//! Registry for an externally installed VLIW-loop validator.
+//!
+//! `psp-verify` implements an independent checker that must see every
+//! generated [`VliwLoop`], but depending on it from the producer crates
+//! would create a dependency cycle. Instead the producers call
+//! [`check`] at their return points; it is a no-op until a validator is
+//! [`install`]ed (which `psp_verify::install()` does), and is gated to
+//! debug builds unless `PSP_VALIDATE` is set in the environment.
+
+use crate::{MachineConfig, VliwLoop};
+use psp_ir::LoopSpec;
+use std::sync::OnceLock;
+
+/// An independent validator: returns one message per violation, empty when
+/// the program is clean.
+pub type VliwValidator = fn(&LoopSpec, &MachineConfig, &VliwLoop) -> Vec<String>;
+
+static HOOK: OnceLock<VliwValidator> = OnceLock::new();
+
+/// Install the validator (first caller wins; later calls are ignored).
+pub fn install(f: VliwValidator) {
+    let _ = HOOK.set(f);
+}
+
+/// Whether [`check`] actually validates (debug build, or `PSP_VALIDATE` set).
+pub fn enabled() -> bool {
+    cfg!(debug_assertions) || std::env::var_os("PSP_VALIDATE").is_some()
+}
+
+/// Validate `prog` against the installed hook; panics with every violation
+/// if the validator rejects it. No-op when disabled or not installed.
+pub fn check(producer: &str, spec: &LoopSpec, machine: &MachineConfig, prog: &VliwLoop) {
+    if !enabled() {
+        return;
+    }
+    if let Some(f) = HOOK.get() {
+        let violations = f(spec, machine, prog);
+        assert!(
+            violations.is_empty(),
+            "independent validator rejected `{}` from {producer}:\n  {}",
+            prog.name,
+            violations.join("\n  ")
+        );
+    }
+}

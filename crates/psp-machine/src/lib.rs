@@ -16,6 +16,7 @@
 
 pub mod config;
 pub mod dot;
+pub mod hook;
 pub mod resources;
 pub mod vliw;
 

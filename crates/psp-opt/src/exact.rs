@@ -183,6 +183,7 @@ pub fn certify(
                             edges,
                         };
                         debug_assert!(sched.verify(m).is_ok());
+                        crate::hook::check("certify (ub witness)", &live_out, m, &sched);
                         return finish(
                             Certification::Certified(u),
                             Some(sched),
@@ -223,6 +224,7 @@ pub fn certify(
                     edges,
                 };
                 debug_assert!(sched.verify(m).is_ok());
+                crate::hook::check("certify", &live_out, m, &sched);
                 return finish(
                     Certification::Certified(lb),
                     Some(sched),

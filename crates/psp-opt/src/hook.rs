@@ -1,0 +1,41 @@
+//! Registry for an externally installed modulo-schedule validator.
+//!
+//! Same pattern as `psp_machine::hook`: `psp_verify::install()` registers
+//! an independent checker for [`ModuloSchedule`] witnesses (from the exact
+//! certifier and from the EMS baseline); until then [`check`] is a no-op.
+//! Gated to debug builds unless `PSP_VALIDATE` is set.
+
+use crate::ModuloSchedule;
+use psp_ir::RegRef;
+use psp_machine::MachineConfig;
+use std::sync::OnceLock;
+
+/// An independent validator over a claimed modulo schedule. The first
+/// argument is the live-out set the producer scheduled against (the
+/// observable-vs-BREAK protocol depends on it; [`ModuloSchedule`] itself
+/// does not carry it).
+pub type ModuloValidator = fn(&[RegRef], &MachineConfig, &ModuloSchedule) -> Vec<String>;
+
+static HOOK: OnceLock<ModuloValidator> = OnceLock::new();
+
+/// Install the validator (first caller wins; later calls are ignored).
+pub fn install(f: ModuloValidator) {
+    let _ = HOOK.set(f);
+}
+
+/// Validate a modulo-schedule witness; panics with every violation on
+/// rejection.
+pub fn check(producer: &str, live_out: &[RegRef], machine: &MachineConfig, sched: &ModuloSchedule) {
+    if !psp_machine::hook::enabled() {
+        return;
+    }
+    if let Some(f) = HOOK.get() {
+        let violations = f(live_out, machine, sched);
+        assert!(
+            violations.is_empty(),
+            "independent validator rejected the modulo schedule from {producer} (II {}):\n  {}",
+            sched.ii,
+            violations.join("\n  ")
+        );
+    }
+}

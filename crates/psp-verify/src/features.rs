@@ -1,0 +1,95 @@
+//! Cheap coverage features guiding the fuzzer.
+//!
+//! A full-blown coverage instrumentation is out of scope; instead each
+//! oracle run is summarized into a small discretized feature vector —
+//! input shape, which transformations fired (from [`psp_core::PspStats`]),
+//! schedule shape, certifier outcome — and hashed. An input earns a place
+//! in the corpus iff its signature is new, which in practice steers the
+//! mutator toward inputs exercising new scheduler behavior (splits,
+//! renames, wraps, deeper nesting) rather than resampling the same paths.
+
+use crate::grammar::{stmt_count, S};
+
+/// Discretized behavior summary of one oracle run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Features {
+    /// Statement count bucket (0–1, 2–3, 4–7, 8+).
+    pub size_bucket: u8,
+    /// Maximum `if` nesting depth of the input.
+    pub depth: u8,
+    /// Number of `if`s in the input.
+    pub n_ifs: u8,
+    /// `[moves, wraps, splits, candidates, rounds]` buckets (log2).
+    pub stat_buckets: [u8; 5],
+    /// PSP initiation interval (row count) on the wide machine.
+    pub psp_ii: u8,
+    /// EMS single II on the wide machine.
+    pub ems_ii: u8,
+    /// Certifier outcome: 0 none, 1 bounded, 2 certified-equal-ems,
+    /// 3 certified-better.
+    pub cert: u8,
+    /// Number of VLIW blocks bucket.
+    pub blocks: u8,
+}
+
+fn bucket(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8 // 0, 1, 2, 2, 3, 3, 3, 3, 4, ...
+}
+
+impl Features {
+    /// Fill the input-shape features from the statement list.
+    pub fn of_input(stmts: &[S]) -> Self {
+        fn depth(stmts: &[S]) -> u8 {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    S::If(_, _, _, t, e) => 1 + depth(t).max(depth(e)),
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        fn ifs(stmts: &[S]) -> u8 {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    S::If(_, _, _, t, e) => 1u8.saturating_add(ifs(t)).saturating_add(ifs(e)),
+                    _ => 0,
+                })
+                .sum()
+        }
+        Features {
+            size_bucket: bucket(stmt_count(stmts) as u64),
+            depth: depth(stmts),
+            n_ifs: ifs(stmts),
+            ..Default::default()
+        }
+    }
+
+    /// Record the scheduler's transformation counters.
+    pub fn record_stats(&mut self, counters: [usize; 5]) {
+        for (b, c) in self.stat_buckets.iter_mut().zip(counters) {
+            *b = bucket(c as u64);
+        }
+    }
+
+    /// FNV-1a signature; corpus novelty is signature novelty.
+    pub fn signature(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        eat(self.size_bucket);
+        eat(self.depth);
+        eat(self.n_ifs);
+        for b in self.stat_buckets {
+            eat(b);
+        }
+        eat(self.psp_ii);
+        eat(self.ems_ii);
+        eat(self.cert);
+        eat(self.blocks);
+        h
+    }
+}

@@ -1,0 +1,76 @@
+//! Independent verification for the PSP pipeline: a from-scratch schedule
+//! validator, a coverage-guided fuzzer, and a minimizing reducer.
+//!
+//! Everything the repo's other crates *produce* — PSP schedules and their
+//! tree-VLIW code, baseline compilations, fixed-II modulo schedules, exact
+//! certificates — this crate *re-checks* with deliberately naive code that
+//! shares no logic with the producers:
+//!
+//! * [`validate_vliw`] — structural, resource, and dispatch checks on any
+//!   generated [`psp_machine::VliwLoop`];
+//! * [`validate_schedule`] — dependence preservation, path coverage,
+//!   speculation legality, and issue width on a [`psp_core::Schedule`];
+//! * [`validate_modulo`] — the full re-derived constraint system of a
+//!   [`psp_opt::ModuloSchedule`];
+//! * [`fuzz`] — a corpus-driven mutation fuzzer whose oracle runs every
+//!   technique through every validator and the differential simulator;
+//! * [`reduce`] — delta-debugging any failing loop down to a locally
+//!   minimal, replayable `.psp` reproducer.
+//!
+//! Calling [`install`] registers the validators with the producer-side
+//! hook registries (`psp_machine::hook`, `psp_core::hook`,
+//! `psp_opt::hook`), after which every debug-build (or `PSP_VALIDATE=1`)
+//! compilation anywhere in the workspace is checked automatically.
+
+pub mod features;
+pub mod fuzz;
+pub mod grammar;
+pub mod modulo;
+pub mod reduce;
+pub mod schedule;
+pub mod violation;
+pub mod vliw;
+
+pub use features::Features;
+pub use fuzz::{fuzz, run_oracle, Failure, Finding, FuzzConfig, FuzzOutcome};
+pub use modulo::validate_modulo;
+pub use reduce::{reduce_failure, reduce_with};
+pub use schedule::validate_schedule;
+pub use violation::{CycleSite, Violation};
+pub use vliw::validate_vliw;
+
+fn vliw_hook(
+    spec: &psp_ir::LoopSpec,
+    machine: &psp_machine::MachineConfig,
+    prog: &psp_machine::VliwLoop,
+) -> Vec<String> {
+    violation::to_strings(&validate_vliw(spec, machine, prog))
+}
+
+fn schedule_hook(
+    spec: &psp_ir::LoopSpec,
+    machine: &psp_machine::MachineConfig,
+    sched: &psp_core::Schedule,
+    prog: &psp_machine::VliwLoop,
+) -> Vec<String> {
+    let mut v = validate_schedule(spec, machine, sched);
+    v.extend(validate_vliw(spec, machine, prog));
+    violation::to_strings(&v)
+}
+
+fn modulo_hook(
+    live_out: &[psp_ir::RegRef],
+    machine: &psp_machine::MachineConfig,
+    sched: &psp_opt::ModuloSchedule,
+) -> Vec<String> {
+    violation::to_strings(&validate_modulo(live_out, machine, sched))
+}
+
+/// Register all three validators with the producer-side hook registries.
+/// Idempotent; call once at the start of a test or binary. Hooks only fire
+/// in debug builds or when `PSP_VALIDATE` is set.
+pub fn install() {
+    psp_machine::hook::install(vliw_hook);
+    psp_core::hook::install(schedule_hook);
+    psp_opt::hook::install(modulo_hook);
+}

@@ -1,0 +1,169 @@
+//! Minimizing reducer: shrink a failing loop to a locally-minimal
+//! reproducer while preserving the failure.
+//!
+//! Delta-debugging in three alternating moves, iterated to a fixpoint:
+//!
+//! 1. **statement deletion** — try removing every statement (outermost
+//!    first, so whole `if` subtrees go in one step);
+//! 2. **condition flattening** — replace an `if` by its then-arm or its
+//!    else-arm, shedding a nesting level without losing the arm's effects;
+//! 3. **code canonicalization** — rewrite operand/opcode bytes toward the
+//!    canonical smallest codes (`+` for ALU, `<` for compares, `k` and `0`
+//!    for operands), which turns "some byte soup" into readable source.
+//!
+//! The interestingness predicate is a plain closure, so the same engine
+//! serves real oracle failures ([`crate::fuzz::fails_at_stage`]) and
+//! synthetic predicates in tests.
+
+use crate::fuzz::Failure;
+use crate::grammar::{self, stmt_count, S};
+
+/// Reduce `stmts` while `is_failing` stays true. `is_failing(stmts)` must
+/// hold on entry; the result is locally minimal: no single deletion,
+/// flattening, or canonicalization step preserves the failure.
+pub fn reduce_with(stmts: &[S], is_failing: &dyn Fn(&[S]) -> bool) -> Vec<S> {
+    debug_assert!(is_failing(stmts), "reducer needs a failing input");
+    let mut cur = stmts.to_vec();
+    loop {
+        let before = cur.clone();
+        shrink_statements(&mut cur, is_failing);
+        flatten_ifs(&mut cur, is_failing);
+        canonicalize(&mut cur, is_failing);
+        if cur == before {
+            return cur;
+        }
+    }
+}
+
+/// Reduce an oracle failure: keep any input failing at the *same stage*
+/// (the detail may legitimately change while shrinking).
+pub fn reduce_failure(stmts: &[S], failure: &Failure) -> Vec<S> {
+    let stage = failure.stage.clone();
+    let pred = move |s: &[S]| crate::fuzz::fails_at_stage(s, &stage);
+    if !pred(stmts) {
+        // Flaky or environment-dependent: return the original untouched.
+        return stmts.to_vec();
+    }
+    reduce_with(stmts, &pred)
+}
+
+fn accept(cur: &mut Vec<S>, cand: Vec<S>, is_failing: &dyn Fn(&[S]) -> bool) -> bool {
+    let mut cand = cand;
+    grammar::normalize(&mut cand);
+    if cand != *cur && !cand.is_empty() && is_failing(&cand) {
+        *cur = cand;
+        true
+    } else {
+        false
+    }
+}
+
+fn shrink_statements(cur: &mut Vec<S>, is_failing: &dyn Fn(&[S]) -> bool) {
+    let mut n = 0;
+    while n < stmt_count(cur) {
+        let mut cand = cur.clone();
+        let mut idx = n;
+        grammar::remove_nth(&mut cand, &mut idx);
+        if !accept(cur, cand, is_failing) {
+            n += 1; // kept: move past it (deleting shifts indices left)
+        }
+    }
+}
+
+/// Count `if` statements (their own index space for flattening).
+fn if_count(stmts: &[S]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            S::If(_, _, _, t, e) => 1 + if_count(t) + if_count(e),
+            _ => 0,
+        })
+        .sum()
+}
+
+fn flatten_nth_if(stmts: &mut Vec<S>, n: &mut usize, keep_then: bool) -> bool {
+    let mut i = 0;
+    while i < stmts.len() {
+        if let S::If(_, _, _, t, e) = &mut stmts[i] {
+            if *n == 0 {
+                let arm = std::mem::take(if keep_then { t } else { e });
+                stmts.splice(i..=i, arm);
+                return true;
+            }
+            *n -= 1;
+            if flatten_nth_if(t, n, keep_then) || flatten_nth_if(e, n, keep_then) {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+fn flatten_ifs(cur: &mut Vec<S>, is_failing: &dyn Fn(&[S]) -> bool) {
+    let mut n = 0;
+    while n < if_count(cur) {
+        let mut progressed = false;
+        for keep_then in [true, false] {
+            let mut cand = cur.clone();
+            let mut idx = n;
+            flatten_nth_if(&mut cand, &mut idx, keep_then);
+            if accept(cur, cand, is_failing) {
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            n += 1;
+        }
+    }
+}
+
+/// Canonical byte codes: ALU `+`, compare `<`, operands `k` (code 0) then
+/// the literal `0` (code 17: `17 % 6 = 5`, `17 % 7 - 3 = 0`).
+const CANON_OPERANDS: [u8; 2] = [0, 17];
+
+fn canonicalize(cur: &mut Vec<S>, is_failing: &dyn Fn(&[S]) -> bool) {
+    for n in 0..stmt_count(cur) {
+        // Try, per field, the canonical codes in order; keep the first
+        // simplification that still fails.
+        // Per field, the literal-`0` fallback is tried first and the
+        // preferred code `k` last, so the last accepted candidate wins.
+        for (field, code) in [
+            (0u8, 0u8), // opcode / cmp -> Add / Lt
+            (1, CANON_OPERANDS[1]),
+            (1, CANON_OPERANDS[0]),
+            (2, CANON_OPERANDS[1]),
+            (2, CANON_OPERANDS[0]),
+            (3, 0), // Alu dst -> s0
+        ] {
+            let mut cand = cur.clone();
+            let mut idx = n;
+            grammar::with_nth(&mut cand, &mut idx, &mut |s| match s {
+                S::Alu(op, d, a, b) => match field {
+                    0 => *op = code,
+                    1 => *a = code,
+                    2 => *b = code,
+                    _ => *d = code,
+                },
+                S::LoadX(d) | S::LoadY(d) => {
+                    if field == 3 {
+                        *d = code;
+                    }
+                }
+                S::AccAdd(src) | S::StoreY(src) => {
+                    if field == 1 {
+                        *src = code;
+                    }
+                }
+                S::If(c, a, b, _, _) => match field {
+                    0 => *c = code,
+                    1 => *a = code,
+                    2 => *b = code,
+                    _ => {}
+                },
+            });
+            accept(cur, cand, is_failing);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The reducer and the fuzz driver: minimization power, reproducer
+//! round-trips, and a tiny smoke campaign.
+
+use psp_verify::grammar::{self, stmt_count, S};
+use psp_verify::{fuzz, reduce_with, FuzzConfig};
+
+/// A deliberately bloated failing input (14 statements); the "failure" is
+/// a synthetic predicate — a store nested under two conditions — standing
+/// in for an oracle stage. The reducer must strip all noise.
+#[test]
+fn reducer_shrinks_a_seeded_failure_below_eight_statements() {
+    fn has_double_nested_store(stmts: &[S]) -> bool {
+        fn nested(stmts: &[S], depth: u32) -> bool {
+            stmts.iter().any(|s| match s {
+                S::StoreY(_) => depth >= 2,
+                S::If(_, _, _, t, e) => nested(t, depth + 1) || nested(e, depth + 1),
+                _ => false,
+            })
+        }
+        nested(stmts, 0)
+    }
+
+    let noisy = vec![
+        S::LoadX(0),
+        S::Alu(2, 1, 9, 14),
+        S::AccAdd(33),
+        S::If(
+            1,
+            0,
+            1,
+            vec![
+                S::LoadY(2),
+                S::If(
+                    4,
+                    8,
+                    2,
+                    vec![S::Alu(7, 0, 3, 4), S::StoreY(19)],
+                    vec![S::AccAdd(5)],
+                ),
+                S::Alu(3, 2, 2, 2),
+            ],
+            vec![S::LoadX(1), S::AccAdd(90)],
+        ),
+        S::StoreY(7),
+        S::Alu(6, 0, 11, 12),
+    ];
+    assert_eq!(stmt_count(&noisy), 14);
+    assert!(has_double_nested_store(&noisy));
+
+    let reduced = reduce_with(&noisy, &|s| has_double_nested_store(s));
+    assert!(
+        has_double_nested_store(&reduced),
+        "failure lost in reduction"
+    );
+    assert!(
+        stmt_count(&reduced) <= 8,
+        "reducer left {} statements: {reduced:?}",
+        stmt_count(&reduced)
+    );
+
+    // The minimized input must survive the disk round-trip: render, write,
+    // re-compile, and match the direct lowering.
+    let dir = std::env::temp_dir().join("psp-verify-reduce-test");
+    let failure = psp_verify::Failure {
+        stage: "synthetic".into(),
+        detail: "double-nested store".into(),
+    };
+    let path = fuzz::write_repro(&dir, &failure, &reduced).unwrap();
+    let src = std::fs::read_to_string(&path).unwrap();
+    let spec = psp_lang::compile(&src).unwrap();
+    assert_eq!(spec, grammar::build_spec(&reduced));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Canonicalization turns byte soup into the smallest codes.
+#[test]
+fn reducer_canonicalizes_codes() {
+    // Failure: any StoreY at top level. Everything else about the
+    // statement is noise and must collapse to canonical codes.
+    let input = vec![S::StoreY(201), S::Alu(135, 77, 91, 222)];
+    let reduced = reduce_with(&input, &|s| s.iter().any(|x| matches!(x, S::StoreY(_))));
+    assert_eq!(reduced, vec![S::StoreY(0)], "expected canonical store");
+}
+
+/// Mutation keeps inputs well-formed: every surviving `if` has a nonempty
+/// then-arm, so rendering and re-lowering can never fail.
+#[test]
+fn mutations_preserve_well_formedness() {
+    let mut rng = grammar::SplitMix64(42);
+    let mut cur = grammar::random_body(&mut rng);
+    for _ in 0..500 {
+        cur = grammar::mutate(&cur, &mut rng);
+        fn wf(stmts: &[S]) -> bool {
+            stmts.iter().all(|s| match s {
+                S::If(_, _, _, t, e) => !t.is_empty() && wf(t) && wf(e),
+                _ => true,
+            })
+        }
+        assert!(wf(&cur), "ill-formed after mutation: {cur:?}");
+        assert!(!cur.is_empty());
+        // And it really lowers + renders.
+        let spec = grammar::build_spec(&cur);
+        assert!(spec.validate().is_ok());
+        let src = grammar::to_source(&cur);
+        assert_eq!(psp_lang::compile(&src).unwrap(), spec);
+    }
+}
+
+/// A miniature campaign end-to-end: a few oracle runs, no findings, and a
+/// growing corpus. (The CI smoke job runs the full campaign in release.)
+#[test]
+fn smoke_campaign_runs_clean() {
+    let cfg = FuzzConfig {
+        seed: 0xfeed,
+        iters: if cfg!(debug_assertions) { 4 } else { 60 },
+        budget: Some(std::time::Duration::from_secs(120)),
+        repro_dir: None,
+        max_failures: 1,
+    };
+    let outcome = fuzz::fuzz(&cfg);
+    assert!(outcome.executed >= 1);
+    assert!(
+        outcome.findings.is_empty(),
+        "fuzz found a real failure: {:?}",
+        outcome.findings
+    );
+    assert!(outcome.corpus >= 1, "first input must enter the corpus");
+}
+
+/// Deterministic replay: the same seed yields the same campaign.
+#[test]
+fn campaigns_are_reproducible() {
+    let cfg = FuzzConfig {
+        seed: 7,
+        iters: 3,
+        budget: None,
+        repro_dir: None,
+        max_failures: 1,
+    };
+    let a = fuzz::fuzz(&cfg);
+    let b = fuzz::fuzz(&cfg);
+    assert_eq!(a.executed, b.executed);
+    assert_eq!(a.corpus, b.corpus);
+}

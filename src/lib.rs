@@ -51,6 +51,7 @@
 //! | [`opt`] | `psp-opt` | II lower bounds, exact branch-and-bound certifier, kernel codegen |
 //! | [`kernels`] | `psp-kernels` | benchmark kernels + input generators |
 //! | [`lang`] | `psp-lang` | the mini loop DSL |
+//! | [`verify`] | `psp-verify` | independent validators, fuzzer, reducer |
 
 pub use psp_baselines as baselines;
 pub use psp_core as core;
@@ -61,6 +62,7 @@ pub use psp_machine as machine;
 pub use psp_opt as opt;
 pub use psp_predicate as predicate;
 pub use psp_sim as sim;
+pub use psp_verify as verify;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -74,4 +76,5 @@ pub mod prelude {
     };
     pub use psp_predicate::{PathSet, PredicateMatrix};
     pub use psp_sim::{check_equivalence, run_reference, run_vliw, BranchProfile, MachineState};
+    pub use psp_verify::{validate_modulo, validate_schedule, validate_vliw, Violation};
 }

@@ -1,0 +1,35 @@
+//! Replay every minimized reproducer under `tests/repros/` through the
+//! full `psp-verify` oracle.
+//!
+//! A reproducer lands here when the fuzzer finds and minimizes a failure;
+//! after the fix it remains as a regression test. This suite asserts the
+//! oracle — every technique, every independent validator, differential
+//! equivalence — runs clean on each file.
+
+use psp::verify::run_oracle;
+use std::path::PathBuf;
+
+#[test]
+fn all_reproducers_replay_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/repros");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests/repros must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("psp") {
+            continue;
+        }
+        seen += 1;
+        let src = std::fs::read_to_string(&path).unwrap();
+        let spec = psp::lang::compile(&src)
+            .unwrap_or_else(|e| panic!("{}: does not compile: {e}", path.display()));
+        if let Err(f) = run_oracle(&spec) {
+            panic!(
+                "{}: oracle fails at stage `{}`: {}",
+                path.display(),
+                f.stage,
+                f.detail
+            );
+        }
+    }
+    assert!(seen >= 1, "expected at least the seeded sample reproducer");
+}

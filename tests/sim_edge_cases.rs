@@ -1,0 +1,138 @@
+//! Simulator edge cases checked differentially across every technique:
+//! do-while loops whose BREAK fires on the very first iteration (including
+//! `n = 0` and negative trip counts), and a store feeding a load of the
+//! same address within one iteration.
+//!
+//! These are the boundary shapes most likely to expose prologue/epilogue
+//! bugs: pipelined code must tear down speculative work when the loop
+//! exits before the pipeline ever fills.
+
+use psp::prelude::*;
+use psp::sim::MachineState;
+
+/// Every compilation technique, checked against the reference interpreter
+/// on one initial state.
+fn check_all(spec: &LoopSpec, init: &MachineState, label: &str) {
+    let wide = MachineConfig::paper_default();
+    let narrow = MachineConfig::narrow(2, 1, 1);
+    let progs = [
+        ("seq", psp::baselines::compile_sequential(spec)),
+        ("local", psp::baselines::compile_local(spec, &wide)),
+        ("unroll3", psp::baselines::compile_unrolled(spec, 3, &wide)),
+        (
+            "psp",
+            pipeline_loop(spec, &PspConfig::default())
+                .expect("psp pipelines")
+                .program,
+        ),
+        (
+            "psp-narrow",
+            pipeline_loop(spec, &PspConfig::with_machine(narrow))
+                .expect("psp pipelines")
+                .program,
+        ),
+    ];
+    for (tech, prog) in &progs {
+        check_equivalence(spec, prog, init, 1_000_000)
+            .unwrap_or_else(|e| panic!("[{label}/{tech}] {e}\n{spec}\n{prog}"));
+    }
+}
+
+fn vecmin_state(n: i64, x: Vec<i64>) -> MachineState {
+    let spec = by_name("vecmin").unwrap().spec;
+    let mut st = MachineState::new(spec.n_regs.max(8), spec.n_ccs.max(4));
+    st.regs[0] = n; // n
+    st.regs[1] = 0; // k
+    st.regs[2] = 0; // m
+    st.push_array(x);
+    st
+}
+
+/// `n = 0`: the do-while body runs exactly once and the BREAK fires
+/// immediately — the pipelined prologue must unwind before a single
+/// steady-state pass.
+#[test]
+fn break_taken_on_first_iteration() {
+    let spec = by_name("vecmin").unwrap().spec;
+    check_all(&spec, &vecmin_state(0, vec![7]), "n=0");
+    check_all(&spec, &vecmin_state(1, vec![7]), "n=1");
+}
+
+/// Negative trip count: `k >= n` is true from the start for any negative
+/// `n`, same single-iteration shape with a different comparison sign.
+#[test]
+fn negative_trip_count() {
+    let spec = by_name("vecmin").unwrap().spec;
+    check_all(&spec, &vecmin_state(-3, vec![7]), "n=-3");
+}
+
+/// A store feeding a load of the *same address* in the same iteration:
+/// the scheduler must keep the W→R pair ordered even across pipelining,
+/// and the simulator's memory model must agree with the reference.
+#[test]
+fn store_then_load_same_address() {
+    let spec = psp::lang::compile(
+        "kernel storeload(n, k, acc, s0; y[]) -> acc {
+            y[k] = acc + 1;
+            s0 = y[k];
+            acc = acc + s0;
+            k = k + 1;
+            break if (k >= n);
+        }",
+    )
+    .unwrap();
+    for n in [1i64, 2, 7] {
+        let mut st = MachineState::new(spec.n_regs.max(8), spec.n_ccs.max(4));
+        st.regs[0] = n;
+        st.push_array(vec![0; n.max(1) as usize]);
+        check_all(&spec, &st, &format!("storeload n={n}"));
+    }
+}
+
+/// Load before a store to the same address (anti-dependence in memory):
+/// the load must see the previous iteration's value, not this one's.
+#[test]
+fn load_then_store_same_address() {
+    let spec = psp::lang::compile(
+        "kernel loadstore(n, k, acc, s0; y[]) -> acc {
+            s0 = y[k];
+            y[k] = s0 + 1;
+            acc = acc + s0;
+            k = k + 1;
+            break if (k >= n);
+        }",
+    )
+    .unwrap();
+    for n in [1i64, 5] {
+        let mut st = MachineState::new(spec.n_regs.max(8), spec.n_ccs.max(4));
+        st.regs[0] = n;
+        st.push_array((0..n.max(1)).collect());
+        check_all(&spec, &st, &format!("loadstore n={n}"));
+    }
+}
+
+/// Zero-length data with an immediate exit: the compiled loop must not
+/// touch memory past the break on any path the reference never takes.
+/// (Array accesses still happen in iteration 0, so the array has one cell.)
+#[test]
+fn single_cell_arrays_across_all_kernels_smallest_input() {
+    for kernel in all_kernels() {
+        let data = KernelData::random(99, 1);
+        let init = kernel.initial_state(&data);
+        let wide = MachineConfig::paper_default();
+        let progs = [
+            ("seq", psp::baselines::compile_sequential(&kernel.spec)),
+            (
+                "psp",
+                pipeline_loop(&kernel.spec, &PspConfig::default())
+                    .expect("psp pipelines")
+                    .program,
+            ),
+            ("local", psp::baselines::compile_local(&kernel.spec, &wide)),
+        ];
+        for (tech, prog) in &progs {
+            check_equivalence(&kernel.spec, prog, &init, 1_000_000)
+                .unwrap_or_else(|e| panic!("[{}/{tech}] {e}", kernel.name));
+        }
+    }
+}

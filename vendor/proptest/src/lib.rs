@@ -10,7 +10,10 @@
 //! Differences from upstream: cases are generated from a deterministic
 //! per-test seed (stable across runs), there is **no shrinking**, and
 //! `*.proptest-regressions` files are not replayed (pin important cases as
-//! explicit `#[test]`s instead).
+//! explicit `#[test]`s instead). Set `PSP_PROPTEST_SEED=<u64>` to perturb
+//! every test's generator stream (the seed is XORed into the per-test-name
+//! state, so `0` — the default — reproduces the unseeded stream), and to
+//! replay the exact stream a CI failure reports in its panic message.
 
 pub mod test_runner {
     /// Runner configuration (subset of upstream `ProptestConfig`).
@@ -18,6 +21,10 @@ pub mod test_runner {
     pub struct Config {
         /// Number of generated cases per property.
         pub cases: u32,
+        /// Extra seed XORed into each test's name-derived generator state
+        /// (`0` = the unperturbed deterministic stream). Defaults to
+        /// `PSP_PROPTEST_SEED` from the environment.
+        pub seed: u64,
         /// Accepted for upstream compatibility; unused (no shrinking).
         pub max_shrink_iters: u32,
         /// Accepted for upstream compatibility; unused (no rejections).
@@ -30,8 +37,13 @@ pub mod test_runner {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(256);
+            let seed = std::env::var("PSP_PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
             Self {
                 cases,
+                seed,
                 max_shrink_iters: 1024,
                 max_global_rejects: 1024,
             }
@@ -63,12 +75,18 @@ pub mod test_runner {
     impl TestRng {
         /// Seed deterministically from a test's fully qualified name.
         pub fn from_name(name: &str) -> Self {
+            Self::from_name_seeded(name, 0)
+        }
+
+        /// Like [`from_name`](Self::from_name) but XORs `seed` into the
+        /// name-derived state; `seed == 0` reproduces `from_name` exactly.
+        pub fn from_name_seeded(name: &str, seed: u64) -> Self {
             let mut h = 0xcbf2_9ce4_8422_2325u64;
             for b in name.bytes() {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
-            Self { state: h }
+            Self { state: h ^ seed }
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -467,11 +485,10 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::Config = $config;
-                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
-                    module_path!(),
-                    "::",
-                    stringify!($name)
-                ));
+                let mut rng = $crate::test_runner::TestRng::from_name_seeded(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config.seed,
+                );
                 for case in 0..config.cases {
                     $(
                         let $arg =
@@ -486,9 +503,12 @@ macro_rules! __proptest_impl {
                     };
                     if let ::core::result::Result::Err(e) = closure() {
                         panic!(
-                            "proptest case {case} of {} failed: {e}\n\
-                             (vendored proptest: deterministic seed, no shrinking)",
-                            stringify!($name)
+                            "proptest case {case} of {} failed (seed {}): {e}\n\
+                             replay with PSP_PROPTEST_SEED={}\n\
+                             (vendored proptest: deterministic stream, no shrinking)",
+                            stringify!($name),
+                            config.seed,
+                            config.seed
                         );
                     }
                 }
@@ -510,6 +530,20 @@ mod tests {
             let w = Strategy::generate(&(-2i64..=2), &mut rng);
             assert!((-2..=2).contains(&w));
         }
+    }
+
+    #[test]
+    fn seed_zero_matches_unseeded_stream() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name_seeded("x", 0);
+        let mut c = TestRng::from_name_seeded("x", 1);
+        let mut diverged = false;
+        for _ in 0..50 {
+            let va = a.next_u64();
+            assert_eq!(va, b.next_u64());
+            diverged |= va != c.next_u64();
+        }
+        assert!(diverged, "nonzero seed must perturb the stream");
     }
 
     #[test]
