@@ -41,7 +41,7 @@ pub fn compile_local(spec: &LoopSpec, m: &MachineConfig) -> VliwLoop {
 mod tests {
     use super::*;
     use psp_kernels::{all_kernels, by_name, KernelData};
-    use psp_sim::check_equivalence;
+    use psp_sim::{check_equivalence, EquivConfig};
 
     #[test]
     fn vecmin_local_ii_is_3() {
@@ -58,8 +58,8 @@ mod tests {
             let prog = compile_local(&kernel.spec, &m);
             prog.validate(&m)
                 .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
-            for seed in 0..4u64 {
-                let data = KernelData::random(seed * 13 + 1, 41);
+            for (seed, len) in EquivConfig::new(4, 1).trial_inputs() {
+                let data = KernelData::random(seed * 13 + 1, len);
                 let init = kernel.initial_state(&data);
                 let (_, run) = check_equivalence(&kernel.spec, &prog, &init, 1_000_000)
                     .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));

@@ -99,8 +99,8 @@ mod tests {
         for kernel in psp_kernels::all_kernels() {
             let prog = compile_sequential(&kernel.spec);
             prog.validate(&MachineConfig::sequential()).unwrap();
-            for seed in 0..3u64 {
-                let data = psp_kernels::KernelData::random(seed + 100, 33);
+            for (seed, len) in psp_sim::EquivConfig::new(3, 100).trial_inputs() {
+                let data = psp_kernels::KernelData::random(seed, len);
                 let init = kernel.initial_state(&data);
                 let (_, run) = psp_sim::check_equivalence(&kernel.spec, &prog, &init, 1_000_000)
                     .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));

@@ -109,7 +109,7 @@ pub fn compile_unrolled(spec: &LoopSpec, factor: u32, m: &MachineConfig) -> Vliw
 mod tests {
     use super::*;
     use psp_kernels::{all_kernels, by_name, KernelData};
-    use psp_sim::check_equivalence;
+    use psp_sim::{check_equivalence, EquivConfig};
 
     #[test]
     fn unroll1_equals_local_shape() {
@@ -133,8 +133,8 @@ mod tests {
                 let prog = compile_unrolled(&kernel.spec, factor, &m);
                 prog.validate(&m)
                     .unwrap_or_else(|e| panic!("{} x{factor}: {e}", kernel.name));
-                for len in [1usize, 7, 32] {
-                    let data = KernelData::random(factor as u64 * 100 + len as u64, len);
+                for (seed, len) in EquivConfig::new(3, factor as u64 * 100).trial_inputs() {
+                    let data = KernelData::random(seed, len);
                     let init = kernel.initial_state(&data);
                     let (_, run) = check_equivalence(&kernel.spec, &prog, &init, 1_000_000)
                         .unwrap_or_else(|e| panic!("{} x{factor} len{len}: {e}", kernel.name));

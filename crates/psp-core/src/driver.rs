@@ -27,6 +27,7 @@ use crate::transform::{self, split_candidates, Transformation};
 use psp_ir::LoopSpec;
 use psp_machine::{MachineConfig, VliwLoop};
 use psp_predicate::{PredOpStats, PredicateMatrix};
+use psp_sim::SimStats;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -190,6 +191,12 @@ pub struct PspStats {
     /// [`counters`](Self::counters) — concurrent runs in the same process
     /// bleed into each other's deltas.
     pub pred: PredOpStats,
+    /// Simulator throughput observed during this run (process-global
+    /// counters sampled around the run, like [`pred`](Self::pred)). The
+    /// pipeliner itself does not simulate, so this is zero unless a
+    /// simulation hook ran; callers that follow the run with equivalence
+    /// checking (e.g. `pspc`) widen the sampling window to cover it.
+    pub sim: SimStats,
     /// Per-phase wall-clock.
     pub times: PhaseTimes,
 }
@@ -217,7 +224,8 @@ impl PspStats {
             concat!(
                 "{{\"moves\":{},\"wraps\":{},\"splits\":{},\"candidates\":{},",
                 "\"rounds\":{},\"cache_hits\":{},\"cache_misses\":{},\"pruned\":{},",
-                "\"floor_hit\":{},\"pred\":{},\"times_us\":{{\"candidate_gen\":{},",
+                "\"floor_hit\":{},\"pred\":{},\"sim\":{},",
+                "\"times_us\":{{\"candidate_gen\":{},",
                 "\"apply\":{},\"compact\":{},\"codegen\":{},\"score\":{},",
                 "\"total\":{}}}}}"
             ),
@@ -231,6 +239,7 @@ impl PspStats {
             self.pruned,
             self.floor_hit,
             self.pred.to_json(),
+            self.sim.to_json(),
             self.times.candidate_gen.as_micros(),
             self.times.apply.as_micros(),
             self.times.compact.as_micros(),
@@ -558,6 +567,7 @@ fn evaluate_candidates(
 pub fn pipeline_loop(spec: &LoopSpec, cfg: &PspConfig) -> Result<PspResult, CodegenError> {
     let t_total = Instant::now();
     let pred_before = psp_predicate::stats::snapshot();
+    let sim_before = psp_sim::stats::snapshot();
     let mut stats = PspStats::default();
     let memo: Option<Memo> = if cfg.enable_memo {
         Some(Mutex::new(HashMap::new()))
@@ -747,6 +757,7 @@ pub fn pipeline_loop(spec: &LoopSpec, cfg: &PspConfig) -> Result<PspResult, Code
     stats.pred = psp_predicate::stats::snapshot().delta(&pred_before);
     stats.times.total = t_total.elapsed();
     crate::hook::check(spec, &cfg.machine, &best.1, &best.2);
+    stats.sim = psp_sim::stats::snapshot().delta(&sim_before);
     Ok(PspResult {
         schedule: best.1,
         program: best.2,
@@ -813,7 +824,7 @@ fn generate_candidates(sched: &Schedule, cfg: &PspConfig) -> Vec<Transformation>
 mod tests {
     use super::*;
     use psp_kernels::{all_kernels, by_name, KernelData};
-    use psp_sim::check_equivalence;
+    use psp_sim::{check_equivalence, EquivConfig};
 
     #[test]
     fn vecmin_pipelines_to_ii_2() {
@@ -835,7 +846,7 @@ mod tests {
     fn vecmin_pipelined_is_equivalent() {
         let kernel = by_name("vecmin").unwrap();
         let res = pipeline_loop(&kernel.spec, &PspConfig::default()).unwrap();
-        for (seed, len) in [(1u64, 1usize), (2, 2), (3, 7), (4, 64), (5, 257)] {
+        for (seed, len) in EquivConfig::new(5, 1).trial_inputs() {
             let data = KernelData::random(seed, len);
             let init = kernel.initial_state(&data);
             let (_, run) = check_equivalence(&kernel.spec, &res.program, &init, 10_000_000)
@@ -850,7 +861,7 @@ mod tests {
         for kernel in all_kernels() {
             let res = pipeline_loop(&kernel.spec, &cfg)
                 .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
-            for (seed, len) in [(11u64, 1usize), (12, 5), (13, 33)] {
+            for (seed, len) in EquivConfig::new(3, 11).trial_inputs() {
                 let data = KernelData::random(seed, len);
                 let init = kernel.initial_state(&data);
                 let (_, run) = check_equivalence(&kernel.spec, &res.program, &init, 10_000_000)
@@ -913,6 +924,9 @@ mod tests {
             "\"conjoins\":",
             "\"disjoint_tests\":",
             "\"memo_hit_rate\":",
+            "\"sim\":",
+            "\"engine\":",
+            "\"decoded_cycles\":",
             "\"times_us\":",
             "\"candidate_gen\":",
             "\"codegen\":",

@@ -3,12 +3,28 @@
 //! The transformed loop may freely clobber registers that are not live-out
 //! (renaming introduces many), so only live-out registers and the full
 //! array memory are compared.
+//!
+//! Two engines can drive the check:
+//!
+//! * **decoded** (default) — the pre-decoded engine of [`crate::decode`]:
+//!   programs are lowered once, trials run over reusable scratch state, and
+//!   [`check_equivalence_batch`] shards a whole trial set across threads;
+//! * **interpreter** — the original `step_cycle`/`run_items` interpreters,
+//!   the trusted reference. `PSP_SIM_ENGINE=interpreter` forces it
+//!   everywhere; the psp-verify validators and repro replay always use it.
+//!
+//! Both produce bit-identical observables (enforced by the differential
+//! suites), so which engine ran is a performance detail, not a semantic
+//! one.
 
+use crate::decode::{DecodedRef, DecodedVliw, Scratch};
 use crate::reference::{run_reference, RefRun};
 use crate::state::{MachineState, SimError};
+use crate::stats;
 use crate::vliw_run::{run_vliw, VliwRun};
 use psp_ir::{LoopSpec, RegRef};
 use psp_machine::VliwLoop;
+use rayon::prelude::*;
 use std::fmt;
 
 /// Mismatch found by [`check_equivalence`].
@@ -66,33 +82,194 @@ impl From<SimError> for EquivalenceError {
     }
 }
 
-/// Run `spec` (reference) and `prog` (compiled) from the same initial state
-/// and compare observable results. Returns both runs on success so callers
-/// can also compare cycle counts.
-pub fn check_equivalence(
-    spec: &LoopSpec,
-    prog: &VliwLoop,
-    initial: &MachineState,
-    max_cycles: u64,
-) -> Result<(RefRun, VliwRun), EquivalenceError> {
-    let golden = run_reference(spec, initial.clone(), max_cycles)?;
-    let mut start = initial.clone();
-    // Compiled code may use renamed registers beyond the spec's count.
-    let (prog_regs, prog_ccs) = prog.register_demand();
-    let max_reg = prog_regs.max(spec.n_regs);
-    let max_cc = prog_ccs.max(spec.n_ccs);
-    start.grow(max_reg, max_cc);
-    let run = run_vliw(prog, start, max_cycles)?;
+/// Which execution engine drives a check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The pre-decoded engine ([`crate::decode`]); the default.
+    Decoded,
+    /// The original `step_cycle` interpreters; the trusted reference.
+    Interpreter,
+}
 
-    for &lo in &spec.live_out {
+impl EngineKind {
+    /// The engine selected by the `PSP_SIM_ENGINE` environment variable
+    /// (`interpreter`/`interp` forces the reference; anything else, or
+    /// unset, selects the decoded engine).
+    pub fn from_env() -> Self {
+        match std::env::var("PSP_SIM_ENGINE").as_deref() {
+            Ok("interpreter") | Ok("interp") => EngineKind::Interpreter,
+            _ => EngineKind::Decoded,
+        }
+    }
+
+    /// Display label (matches [`crate::stats::SimStats::engine`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Decoded => "decoded",
+            EngineKind::Interpreter => "interpreter",
+        }
+    }
+}
+
+/// The canonical trial-length ladder: the smallest interesting trip counts
+/// plus sizes that exercise several pipelined passes. Trial `i` uses
+/// `TRIAL_LENS[i % 6]`.
+pub const TRIAL_LENS: [usize; 6] = [1, 2, 7, 33, 64, 257];
+
+/// Centralized equivalence-trial configuration, replacing per-call-site
+/// hardcoded `(seed, len)` tables in the driver, baselines, fuzzer,
+/// kernel-generator, and bench callers.
+#[derive(Debug, Clone)]
+pub struct EquivConfig {
+    /// Number of random trials.
+    pub trials: usize,
+    /// Base RNG seed; trial `i` uses `seed + i`.
+    pub seed: u64,
+    /// Per-trial cycle budget.
+    pub max_cycles: u64,
+    /// Execution engine.
+    pub engine: EngineKind,
+    /// Worker threads for [`check_equivalence_batch`] (1 = sequential;
+    /// 0 = available parallelism).
+    pub threads: usize,
+    /// Trial-length ladder; trial `i` uses `lens[i % lens.len()]`.
+    /// Defaults to [`TRIAL_LENS`].
+    pub lens: Vec<usize>,
+}
+
+impl EquivConfig {
+    /// A configuration honouring the environment: `PSP_EQUIV_TRIALS`
+    /// overrides the trial count (CI can widen or narrow every caller at
+    /// once) and `PSP_SIM_ENGINE` selects the engine.
+    pub fn new(trials: usize, seed: u64) -> Self {
+        let trials = std::env::var("PSP_EQUIV_TRIALS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(trials);
+        Self {
+            trials,
+            ..Self::fixed(trials, seed)
+        }
+    }
+
+    /// A configuration that ignores environment overrides (benchmarks need
+    /// fixed trial counts to stay comparable).
+    pub fn fixed(trials: usize, seed: u64) -> Self {
+        Self {
+            trials,
+            seed,
+            max_cycles: 10_000_000,
+            engine: EngineKind::from_env(),
+            threads: 1,
+            lens: TRIAL_LENS.to_vec(),
+        }
+    }
+
+    /// Replace the per-trial cycle budget.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Force an engine regardless of `PSP_SIM_ENGINE`.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Set the worker-thread count for batched checks.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Replace the trial-length ladder (benchmarks use longer,
+    /// simulation-bound lengths; correctness suites keep the default
+    /// ladder's tiny trip counts).
+    pub fn with_lens(mut self, lens: &[usize]) -> Self {
+        assert!(!lens.is_empty(), "trial-length ladder must be non-empty");
+        self.lens = lens.to_vec();
+        self
+    }
+
+    /// The `(seed, len)` pairs of the configured trials.
+    pub fn trial_inputs(&self) -> Vec<(u64, usize)> {
+        (0..self.trials)
+            .map(|i| (self.seed + i as u64, self.lens[i % self.lens.len()]))
+            .collect()
+    }
+}
+
+/// Compact per-trial observables (cycle/iteration counts) from a batched
+/// check; the full `RefRun`/`VliwRun` materialization is skipped on the
+/// batch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquivRun {
+    /// Sequential reference cycles.
+    pub ref_cycles: u64,
+    /// Reference iterations.
+    pub ref_iterations: u64,
+    /// VLIW body cycles.
+    pub body_cycles: u64,
+    /// VLIW prologue + body + epilogue cycles.
+    pub total_cycles: u64,
+    /// VLIW iterations.
+    pub vliw_iterations: u64,
+}
+
+/// Result of [`check_equivalence_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Per-trial counters, in trial order.
+    pub trials: Vec<EquivRun>,
+    /// Engine that ran the batch.
+    pub engine: EngineKind,
+}
+
+impl BatchRun {
+    /// Total simulated cycles across all trials and both sides.
+    pub fn total_cycles(&self) -> u64 {
+        self.trials
+            .iter()
+            .map(|t| t.ref_cycles + t.total_cycles)
+            .sum()
+    }
+}
+
+/// A trial failure from [`check_equivalence_batch`], tagged with the trial
+/// input that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchError {
+    /// RNG seed of the failing trial.
+    pub seed: u64,
+    /// Input length of the failing trial.
+    pub len: usize,
+    /// The underlying mismatch.
+    pub error: EquivalenceError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "len {} seed {}: {}", self.len, self.seed, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Compare live-out registers and full array memory; shared by both
+/// engines so the first-mismatch report is identical.
+fn compare_observables(
+    live_out: &[RegRef],
+    golden: &MachineState,
+    run: &MachineState,
+) -> Result<(), EquivalenceError> {
+    for &lo in live_out {
         let (expected, actual) = match lo {
-            RegRef::Gpr(r) => (
-                golden.state.regs[r.0 as usize],
-                run.state.regs[r.0 as usize],
-            ),
+            RegRef::Gpr(r) => (golden.regs[r.0 as usize], run.regs[r.0 as usize]),
             RegRef::Cc(c) => (
-                golden.state.ccs[c.0 as usize] as i64,
-                run.state.ccs[c.0 as usize] as i64,
+                golden.ccs[c.0 as usize] as i64,
+                run.ccs[c.0 as usize] as i64,
             ),
         };
         if expected != actual {
@@ -103,13 +280,7 @@ pub fn check_equivalence(
             });
         }
     }
-    for (ai, (ga, ra)) in golden
-        .state
-        .arrays
-        .iter()
-        .zip(run.state.arrays.iter())
-        .enumerate()
-    {
+    for (ai, (ga, ra)) in golden.arrays.iter().zip(run.arrays.iter()).enumerate() {
         for (ei, (g, r)) in ga.iter().zip(ra.iter()).enumerate() {
             if g != r {
                 return Err(EquivalenceError::Array {
@@ -121,7 +292,222 @@ pub fn check_equivalence(
             }
         }
     }
-    Ok((golden, run))
+    Ok(())
+}
+
+/// A decoded spec/program pair plus reusable run state: decode once, check
+/// any number of trial inputs with zero per-trial allocation.
+#[derive(Debug, Clone)]
+pub struct EquivEngine {
+    dref: DecodedRef,
+    dvliw: DecodedVliw,
+    live_out: Vec<RegRef>,
+    max_reg: u32,
+    max_cc: u32,
+    ref_state: MachineState,
+    vliw_state: MachineState,
+    scratch: Scratch,
+}
+
+impl EquivEngine {
+    /// Decode `spec` and `prog` for repeated checking.
+    pub fn new(spec: &LoopSpec, prog: &VliwLoop) -> Self {
+        let (prog_regs, prog_ccs) = prog.register_demand();
+        EquivEngine {
+            dref: DecodedRef::decode(spec),
+            dvliw: DecodedVliw::decode(prog),
+            live_out: spec.live_out.clone(),
+            max_reg: prog_regs.max(spec.n_regs),
+            max_cc: prog_ccs.max(spec.n_ccs),
+            ref_state: MachineState::new(0, 0),
+            vliw_state: MachineState::new(0, 0),
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// Check one trial input, returning compact counters (no
+    /// `RefRun`/`VliwRun` materialization, no trace).
+    pub fn check(
+        &mut self,
+        initial: &MachineState,
+        max_cycles: u64,
+    ) -> Result<EquivRun, EquivalenceError> {
+        stats::count_trial();
+        self.ref_state.copy_from(initial);
+        let rc = self
+            .dref
+            .run(&mut self.ref_state, &mut self.scratch, max_cycles, None)?;
+        self.vliw_state.copy_from(initial);
+        self.vliw_state.grow(self.max_reg, self.max_cc);
+        let vc = self
+            .dvliw
+            .run(&mut self.vliw_state, &mut self.scratch, max_cycles)?;
+        compare_observables(&self.live_out, &self.ref_state, &self.vliw_state)?;
+        Ok(EquivRun {
+            ref_cycles: rc.cycles,
+            ref_iterations: rc.iterations,
+            body_cycles: vc.body_cycles,
+            total_cycles: vc.total_cycles,
+            vliw_iterations: vc.iterations,
+        })
+    }
+
+    /// Check one trial input and materialize the full runs (including the
+    /// reference IF-outcome trace), for API parity with
+    /// [`check_equivalence`].
+    pub fn check_full(
+        &mut self,
+        initial: &MachineState,
+        max_cycles: u64,
+    ) -> Result<(RefRun, VliwRun), EquivalenceError> {
+        stats::count_trial();
+        self.ref_state.copy_from(initial);
+        let mut trace = Vec::new();
+        let rc = self.dref.run(
+            &mut self.ref_state,
+            &mut self.scratch,
+            max_cycles,
+            Some(&mut trace),
+        )?;
+        self.vliw_state.copy_from(initial);
+        self.vliw_state.grow(self.max_reg, self.max_cc);
+        let vc = self
+            .dvliw
+            .run(&mut self.vliw_state, &mut self.scratch, max_cycles)?;
+        compare_observables(&self.live_out, &self.ref_state, &self.vliw_state)?;
+        Ok((
+            RefRun {
+                state: self.ref_state.clone(),
+                iterations: rc.iterations,
+                cycles: rc.cycles,
+                trace,
+            },
+            VliwRun {
+                state: self.vliw_state.clone(),
+                body_cycles: vc.body_cycles,
+                total_cycles: vc.total_cycles,
+                iterations: vc.iterations,
+            },
+        ))
+    }
+}
+
+/// Run `spec` (reference) and `prog` (compiled) from the same initial state
+/// and compare observable results. Returns both runs on success so callers
+/// can also compare cycle counts. Engine selection honours
+/// `PSP_SIM_ENGINE`; use [`check_equivalence_with`] to pin one.
+pub fn check_equivalence(
+    spec: &LoopSpec,
+    prog: &VliwLoop,
+    initial: &MachineState,
+    max_cycles: u64,
+) -> Result<(RefRun, VliwRun), EquivalenceError> {
+    check_equivalence_with(spec, prog, initial, max_cycles, EngineKind::from_env())
+}
+
+/// [`check_equivalence`] with an explicit engine.
+pub fn check_equivalence_with(
+    spec: &LoopSpec,
+    prog: &VliwLoop,
+    initial: &MachineState,
+    max_cycles: u64,
+    engine: EngineKind,
+) -> Result<(RefRun, VliwRun), EquivalenceError> {
+    match engine {
+        EngineKind::Decoded => EquivEngine::new(spec, prog).check_full(initial, max_cycles),
+        EngineKind::Interpreter => {
+            stats::count_trial();
+            let golden = run_reference(spec, initial.clone(), max_cycles)?;
+            let mut start = initial.clone();
+            // Compiled code may use renamed registers beyond the spec's
+            // count.
+            let (prog_regs, prog_ccs) = prog.register_demand();
+            start.grow(prog_regs.max(spec.n_regs), prog_ccs.max(spec.n_ccs));
+            let run = run_vliw(prog, start, max_cycles)?;
+            compare_observables(&spec.live_out, &golden.state, &run.state)?;
+            Ok((golden, run))
+        }
+    }
+}
+
+/// Check a whole trial set: decode once, run every `(seed, len)` input of
+/// `cfg`, sharded across `cfg.threads` workers on the decoded engine.
+/// `mk_init` builds the initial state for one trial; it may return an
+/// owned `MachineState` or any `Borrow` of one (e.g. `&MachineState` from
+/// a pre-built input table — both engines read the trial input without
+/// consuming it, so a zero-copy provider skips one full state clone per
+/// trial). The first failure (in trial order — shards are contiguous, so
+/// the report is deterministic) is returned tagged with its trial input.
+pub fn check_equivalence_batch<F, S>(
+    spec: &LoopSpec,
+    prog: &VliwLoop,
+    cfg: &EquivConfig,
+    mk_init: F,
+) -> Result<BatchRun, BatchError>
+where
+    F: Fn(u64, usize) -> S + Sync,
+    S: std::borrow::Borrow<MachineState>,
+{
+    let inputs = cfg.trial_inputs();
+    stats::count_batch(inputs.len());
+    let run_shard = |mut eng: EquivEngine, shard: &[(u64, usize)]| {
+        let mut out = Vec::with_capacity(shard.len());
+        for &(seed, len) in shard {
+            let init = mk_init(seed, len);
+            out.push(
+                eng.check(init.borrow(), cfg.max_cycles)
+                    .map_err(|error| BatchError { seed, len, error })?,
+            );
+        }
+        Ok::<_, BatchError>(out)
+    };
+    let trials = match cfg.engine {
+        EngineKind::Interpreter => {
+            let mut trials = Vec::with_capacity(inputs.len());
+            for &(seed, len) in &inputs {
+                let init = mk_init(seed, len);
+                let (g, r) =
+                    check_equivalence_with(spec, prog, init.borrow(), cfg.max_cycles, cfg.engine)
+                        .map_err(|error| BatchError { seed, len, error })?;
+                trials.push(EquivRun {
+                    ref_cycles: g.cycles,
+                    ref_iterations: g.iterations,
+                    body_cycles: r.body_cycles,
+                    total_cycles: r.total_cycles,
+                    vliw_iterations: r.iterations,
+                });
+            }
+            trials
+        }
+        EngineKind::Decoded => {
+            let threads = match cfg.threads {
+                0 => rayon::current_num_threads(),
+                n => n,
+            };
+            let eng = EquivEngine::new(spec, prog);
+            if threads <= 1 || inputs.len() <= 1 {
+                run_shard(eng, &inputs)?
+            } else {
+                let chunk = inputs.len().div_ceil(threads);
+                let shards: Vec<Vec<(u64, usize)>> =
+                    inputs.chunks(chunk).map(|c| c.to_vec()).collect();
+                let results: Vec<Result<Vec<EquivRun>, BatchError>> = shards
+                    .into_par_iter()
+                    .with_threads(threads)
+                    .map(|shard| run_shard(eng.clone(), &shard))
+                    .collect();
+                let mut trials = Vec::with_capacity(inputs.len());
+                for r in results {
+                    trials.extend(r?);
+                }
+                trials
+            }
+        }
+    };
+    Ok(BatchRun {
+        trials,
+        engine: cfg.engine,
+    })
 }
 
 #[cfg(test)]
@@ -207,6 +593,18 @@ mod tests {
         s
     }
 
+    fn random_data(seed: u64, len: usize) -> Vec<i64> {
+        let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        (0..len)
+            .map(|_| {
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                x ^= x >> 27;
+                (x % 201) as i64 - 100
+            })
+            .collect()
+    }
+
     #[test]
     fn fig1b_is_equivalent_and_faster() {
         let (gold, run) = check_equivalence(
@@ -248,5 +646,107 @@ mod tests {
         let mut prog = fig1b_prog();
         prog.blocks[0].cycles[0].push(copy(Reg(31), 0i64));
         check_equivalence(&vecmin_spec(), &prog, &initial(vec![3, 1, 2]), 100_000).unwrap();
+    }
+
+    #[test]
+    fn engines_agree_on_success_and_failure() {
+        let spec = vecmin_spec();
+        let good = fig1b_prog();
+        let init = initial(vec![5, 3, 8, 1, 9, 1]);
+        let (gd, rd) =
+            check_equivalence_with(&spec, &good, &init, 100_000, EngineKind::Decoded).unwrap();
+        let (gi, ri) =
+            check_equivalence_with(&spec, &good, &init, 100_000, EngineKind::Interpreter).unwrap();
+        assert_eq!(gd.state, gi.state);
+        assert_eq!(gd.trace, gi.trace);
+        assert_eq!(rd.state, ri.state);
+        assert_eq!(
+            (rd.body_cycles, rd.total_cycles, rd.iterations),
+            (ri.body_cycles, ri.total_cycles, ri.iterations)
+        );
+
+        let mut bad = fig1b_prog();
+        if let Some(op) = bad.blocks[0].cycles[2].get_mut(1) {
+            op.guard = Some(Guard::unless(CcReg(0)));
+        }
+        let ed =
+            check_equivalence_with(&spec, &bad, &init, 100_000, EngineKind::Decoded).unwrap_err();
+        let ei = check_equivalence_with(&spec, &bad, &init, 100_000, EngineKind::Interpreter)
+            .unwrap_err();
+        assert_eq!(ed, ei);
+    }
+
+    #[test]
+    fn batch_matches_per_trial_checks_on_both_engines() {
+        let spec = vecmin_spec();
+        let prog = fig1b_prog();
+        let mk = |seed: u64, len: usize| initial(random_data(seed, len.max(1)));
+        for engine in [EngineKind::Decoded, EngineKind::Interpreter] {
+            let cfg = EquivConfig::fixed(8, 42).with_engine(engine);
+            let batch = check_equivalence_batch(&spec, &prog, &cfg, mk).unwrap();
+            assert_eq!(batch.trials.len(), 8);
+            for (&(seed, len), trial) in cfg.trial_inputs().iter().zip(&batch.trials) {
+                let (g, r) = check_equivalence_with(
+                    &spec,
+                    &prog,
+                    &mk(seed, len),
+                    cfg.max_cycles,
+                    EngineKind::Interpreter,
+                )
+                .unwrap();
+                assert_eq!(trial.ref_cycles, g.cycles);
+                assert_eq!(trial.ref_iterations, g.iterations);
+                assert_eq!(trial.body_cycles, r.body_cycles);
+                assert_eq!(trial.total_cycles, r.total_cycles);
+                assert_eq!(trial.vliw_iterations, r.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sharding_is_deterministic() {
+        let spec = vecmin_spec();
+        let prog = fig1b_prog();
+        let mk = |seed: u64, len: usize| initial(random_data(seed, len.max(1)));
+        let seq = check_equivalence_batch(&spec, &prog, &EquivConfig::fixed(12, 7), mk).unwrap();
+        for threads in [2, 3, 8] {
+            let par = check_equivalence_batch(
+                &spec,
+                &prog,
+                &EquivConfig::fixed(12, 7).with_threads(threads),
+                mk,
+            )
+            .unwrap();
+            assert_eq!(seq.trials, par.trials);
+        }
+    }
+
+    #[test]
+    fn batch_reports_first_failing_trial() {
+        let spec = vecmin_spec();
+        let mut bad = fig1b_prog();
+        if let Some(op) = bad.blocks[0].cycles[2].get_mut(1) {
+            op.guard = Some(Guard::unless(CcReg(0)));
+        }
+        let mk = |seed: u64, len: usize| initial(random_data(seed, len.max(1)));
+        let cfg = EquivConfig::fixed(6, 100);
+        let seq_err = check_equivalence_batch(&spec, &bad, &cfg, mk).unwrap_err();
+        let par_err =
+            check_equivalence_batch(&spec, &bad, &cfg.clone().with_threads(3), mk).unwrap_err();
+        assert_eq!(seq_err, par_err);
+        assert!(seq_err
+            .to_string()
+            .contains(&format!("seed {}", seq_err.seed)));
+    }
+
+    #[test]
+    fn trial_inputs_follow_the_ladder() {
+        let cfg = EquivConfig::fixed(8, 10);
+        let inputs = cfg.trial_inputs();
+        assert_eq!(inputs.len(), 8);
+        assert_eq!(inputs[0], (10, 1));
+        assert_eq!(inputs[1], (11, 2));
+        assert_eq!(inputs[5], (15, 257));
+        assert_eq!(inputs[6], (16, 1)); // ladder wraps
     }
 }

@@ -7,8 +7,10 @@
 //! and a per-iteration trace of IF outcomes for profiling.
 
 use crate::state::{MachineState, SimError};
+use crate::stats;
 use psp_ir::{Item, LoopSpec};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Result of a reference run.
 #[derive(Debug, Clone)]
@@ -41,6 +43,7 @@ pub fn run_reference(
     mut state: MachineState,
     max_cycles: u64,
 ) -> Result<RefRun, SimError> {
+    let t0 = Instant::now();
     state.grow(spec.n_regs, spec.n_ccs);
     let mut cycles: u64 = 0;
     let mut iterations: u64 = 0;
@@ -65,6 +68,7 @@ pub fn run_reference(
         }
     }
 
+    stats::count_interp_run(cycles, t0.elapsed().as_micros() as u64);
     Ok(RefRun {
         state,
         iterations,
@@ -88,8 +92,9 @@ fn run_items(
         match item {
             Item::Op(op) => {
                 *cycles += 1;
-                let effects = vec![state.effect_of(op)?];
-                state.commit(&effects)?;
+                // A bare op's BREAK/IF outcome is deliberately discarded,
+                // exactly as `commit` discarded it here before.
+                state.step_op(op)?;
             }
             Item::If(i) => {
                 *cycles += 1; // the IF itself costs a cycle

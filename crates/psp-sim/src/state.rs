@@ -87,6 +87,23 @@ impl MachineState {
         self.arrays.push(data);
     }
 
+    /// Become a copy of `other`, reusing this state's allocations (the
+    /// batched equivalence checker resets the same state once per trial).
+    pub fn copy_from(&mut self, other: &MachineState) {
+        self.regs.clear();
+        self.regs.extend_from_slice(&other.regs);
+        self.ccs.clear();
+        self.ccs.extend_from_slice(&other.ccs);
+        self.arrays.truncate(other.arrays.len());
+        while self.arrays.len() < other.arrays.len() {
+            self.arrays.push(Vec::new());
+        }
+        for (dst, src) in self.arrays.iter_mut().zip(other.arrays.iter()) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
+    }
+
     /// Read a general-purpose register.
     pub fn reg(&self, r: psp_ir::Reg) -> Result<i64, SimError> {
         self.regs
@@ -253,14 +270,55 @@ impl MachineState {
         Ok((broke, if_outcome))
     }
 
+    /// Execute one sequential operation: evaluate and apply its effect
+    /// immediately (a single op can never conflict with itself). The
+    /// reference interpreter's per-op path; allocation-free, and identical
+    /// to `commit(&[effect_of(op)?])`.
+    pub fn step_op(&mut self, op: &Operation) -> Result<(bool, Option<bool>), SimError> {
+        let mut broke = false;
+        let mut if_outcome = None;
+        match self.effect_of(op)? {
+            Effect::Gpr(r, v) => {
+                let slot = self
+                    .regs
+                    .get_mut(r as usize)
+                    .ok_or_else(|| SimError::BadRegister(format!("R{r}")))?;
+                *slot = v;
+            }
+            Effect::Cc(c, v) => {
+                let slot = self
+                    .ccs
+                    .get_mut(c as usize)
+                    .ok_or_else(|| SimError::BadRegister(format!("CC{c}")))?;
+                *slot = v;
+            }
+            Effect::Mem(arr, elem, v) => self.arrays[arr as usize][elem] = v,
+            Effect::Break => broke = true,
+            Effect::IfOutcome(v) => if_outcome = Some(v),
+            Effect::Squashed => {}
+        }
+        Ok((broke, if_outcome))
+    }
+
     /// Execute one whole cycle (parallel semantics): evaluate all effects
     /// against the pre-cycle state, then commit.
     pub fn step_cycle(&mut self, ops: &[Operation]) -> Result<(bool, Option<bool>), SimError> {
         let mut effects = Vec::with_capacity(ops.len());
+        self.step_cycle_into(ops, &mut effects)
+    }
+
+    /// [`MachineState::step_cycle`] with a caller-owned effect buffer, so a
+    /// run loop can reuse one allocation across all its cycles.
+    pub fn step_cycle_into(
+        &mut self,
+        ops: &[Operation],
+        effects: &mut Vec<Effect>,
+    ) -> Result<(bool, Option<bool>), SimError> {
+        effects.clear();
         for op in ops {
             effects.push(self.effect_of(op)?);
         }
-        self.commit(&effects)
+        self.commit(effects)
     }
 }
 

@@ -1,0 +1,235 @@
+//! Process-global counters of simulation work.
+//!
+//! Every legality claim in the workspace bottoms out in simulation, so the
+//! simulator's throughput is worth observing rather than asserting. These
+//! counters mirror [`psp_predicate::stats::PredOpStats`]: plain relaxed
+//! atomics that worker threads bump, sampled around a region with
+//! [`snapshot`] + [`SimStats::delta`]. They are *not* part of any
+//! determinism contract — concurrent work in the same process (parallel
+//! tests, rayon shards) shows up in everyone's deltas.
+//!
+//! Two engines feed them: the pre-decoded engine ([`crate::decode`])
+//! increments the `decoded_*` counters, the original `step_cycle`
+//! interpreters increment `interp_*`. The busy-time counters accumulate
+//! wall-clock microseconds spent inside runs, so `*_cycles_per_sec` is a
+//! genuine throughput, comparable across engines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PROGRAMS_DECODED: AtomicU64 = AtomicU64::new(0);
+static DECODED_OPS: AtomicU64 = AtomicU64::new(0);
+static DECODED_CYCLES: AtomicU64 = AtomicU64::new(0);
+static DECODED_BUSY_US: AtomicU64 = AtomicU64::new(0);
+static INTERP_CYCLES: AtomicU64 = AtomicU64::new(0);
+static INTERP_BUSY_US: AtomicU64 = AtomicU64::new(0);
+static TRIALS: AtomicU64 = AtomicU64::new(0);
+static BATCHES: AtomicU64 = AtomicU64::new(0);
+static MAX_BATCH: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn count_decode(ops: usize) {
+    PROGRAMS_DECODED.fetch_add(1, Ordering::Relaxed);
+    DECODED_OPS.fetch_add(ops as u64, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_decoded_run(cycles: u64, busy_us: u64) {
+    DECODED_CYCLES.fetch_add(cycles, Ordering::Relaxed);
+    DECODED_BUSY_US.fetch_add(busy_us, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_interp_run(cycles: u64, busy_us: u64) {
+    INTERP_CYCLES.fetch_add(cycles, Ordering::Relaxed);
+    INTERP_BUSY_US.fetch_add(busy_us, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_trial() {
+    TRIALS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_batch(size: usize) {
+    BATCHES.fetch_add(1, Ordering::Relaxed);
+    MAX_BATCH.fetch_max(size as u64, Ordering::Relaxed);
+}
+
+/// A snapshot (or delta) of the simulator counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Programs lowered by the pre-decoder (reference + VLIW count
+    /// separately).
+    pub programs_decoded: u64,
+    /// Micro-ops emitted by the pre-decoder.
+    pub decoded_ops: u64,
+    /// Cycles simulated by the decoded engine.
+    pub decoded_cycles: u64,
+    /// Wall-clock microseconds spent inside decoded-engine runs.
+    pub decoded_busy_us: u64,
+    /// Cycles simulated by the `step_cycle` interpreters.
+    pub interp_cycles: u64,
+    /// Wall-clock microseconds spent inside interpreter runs.
+    pub interp_busy_us: u64,
+    /// Equivalence trials executed (any engine).
+    pub trials: u64,
+    /// Batched equivalence calls.
+    pub batches: u64,
+    /// Largest batch seen (totals, not delta-meaningful).
+    pub max_batch: u64,
+}
+
+impl SimStats {
+    /// Counter increments since the `since` snapshot. `max_batch` is kept
+    /// as the current high-water mark rather than subtracted.
+    pub fn delta(&self, since: &SimStats) -> SimStats {
+        SimStats {
+            programs_decoded: self.programs_decoded.saturating_sub(since.programs_decoded),
+            decoded_ops: self.decoded_ops.saturating_sub(since.decoded_ops),
+            decoded_cycles: self.decoded_cycles.saturating_sub(since.decoded_cycles),
+            decoded_busy_us: self.decoded_busy_us.saturating_sub(since.decoded_busy_us),
+            interp_cycles: self.interp_cycles.saturating_sub(since.interp_cycles),
+            interp_busy_us: self.interp_busy_us.saturating_sub(since.interp_busy_us),
+            trials: self.trials.saturating_sub(since.trials),
+            batches: self.batches.saturating_sub(since.batches),
+            max_batch: self.max_batch,
+        }
+    }
+
+    /// Which engine did the simulating in this snapshot/delta.
+    pub fn engine(&self) -> &'static str {
+        match (self.decoded_cycles > 0, self.interp_cycles > 0) {
+            (true, true) => "mixed",
+            (true, false) => "decoded",
+            (false, true) => "interpreter",
+            (false, false) => "none",
+        }
+    }
+
+    /// Decoded-engine throughput in simulated cycles per second (0 when no
+    /// busy time was recorded).
+    pub fn decoded_cycles_per_sec(&self) -> f64 {
+        rate(self.decoded_cycles, self.decoded_busy_us)
+    }
+
+    /// Interpreter throughput in simulated cycles per second.
+    pub fn interp_cycles_per_sec(&self) -> f64 {
+        rate(self.interp_cycles, self.interp_busy_us)
+    }
+
+    /// Hand-rolled JSON object (the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"engine\":\"{}\",\"programs_decoded\":{},\"decoded_ops\":{},",
+                "\"decoded_cycles\":{},\"interp_cycles\":{},\"trials\":{},",
+                "\"batches\":{},\"max_batch\":{},",
+                "\"decoded_cycles_per_sec\":{:.0},\"interp_cycles_per_sec\":{:.0}}}"
+            ),
+            self.engine(),
+            self.programs_decoded,
+            self.decoded_ops,
+            self.decoded_cycles,
+            self.interp_cycles,
+            self.trials,
+            self.batches,
+            self.max_batch,
+            self.decoded_cycles_per_sec(),
+            self.interp_cycles_per_sec(),
+        )
+    }
+}
+
+fn rate(cycles: u64, busy_us: u64) -> f64 {
+    if busy_us == 0 {
+        0.0
+    } else {
+        cycles as f64 / (busy_us as f64 / 1e6)
+    }
+}
+
+/// Current totals since process start.
+pub fn snapshot() -> SimStats {
+    SimStats {
+        programs_decoded: PROGRAMS_DECODED.load(Ordering::Relaxed),
+        decoded_ops: DECODED_OPS.load(Ordering::Relaxed),
+        decoded_cycles: DECODED_CYCLES.load(Ordering::Relaxed),
+        decoded_busy_us: DECODED_BUSY_US.load(Ordering::Relaxed),
+        interp_cycles: INTERP_CYCLES.load(Ordering::Relaxed),
+        interp_busy_us: INTERP_BUSY_US.load(Ordering::Relaxed),
+        trials: TRIALS.load(Ordering::Relaxed),
+        batches: BATCHES.load(Ordering::Relaxed),
+        max_batch: MAX_BATCH.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_and_engine_label() {
+        let before = snapshot();
+        count_decode(12);
+        count_decoded_run(100, 5);
+        count_trial();
+        count_batch(3);
+        let d = snapshot().delta(&before);
+        // Other test threads may also count; deltas are lower-bounded.
+        assert!(d.programs_decoded >= 1);
+        assert!(d.decoded_ops >= 12);
+        assert!(d.decoded_cycles >= 100);
+        assert!(d.trials >= 1);
+        assert!(d.batches >= 1);
+        assert!(d.max_batch >= 3);
+
+        let only_decoded = SimStats {
+            decoded_cycles: 1,
+            ..SimStats::default()
+        };
+        assert_eq!(only_decoded.engine(), "decoded");
+        let only_interp = SimStats {
+            interp_cycles: 1,
+            ..SimStats::default()
+        };
+        assert_eq!(only_interp.engine(), "interpreter");
+        assert_eq!(SimStats::default().engine(), "none");
+        let both = SimStats {
+            decoded_cycles: 1,
+            interp_cycles: 1,
+            ..SimStats::default()
+        };
+        assert_eq!(both.engine(), "mixed");
+    }
+
+    #[test]
+    fn rates_are_cycles_per_second() {
+        let s = SimStats {
+            decoded_cycles: 2_000_000,
+            decoded_busy_us: 1_000_000,
+            ..SimStats::default()
+        };
+        assert!((s.decoded_cycles_per_sec() - 2_000_000.0).abs() < 1e-6);
+        assert_eq!(SimStats::default().interp_cycles_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn json_is_an_object() {
+        let j = SimStats::default().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "engine",
+            "programs_decoded",
+            "decoded_ops",
+            "decoded_cycles",
+            "interp_cycles",
+            "trials",
+            "batches",
+            "max_batch",
+            "decoded_cycles_per_sec",
+            "interp_cycles_per_sec",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+}

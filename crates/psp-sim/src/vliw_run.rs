@@ -10,8 +10,10 @@
 //! value of its condition register), so a compare writing the same register
 //! in the IF's own cycle does not affect the taken direction.
 
-use crate::state::{MachineState, SimError};
+use crate::state::{Effect, MachineState, SimError};
+use crate::stats;
 use psp_machine::{VliwLoop, VliwTerm};
+use std::time::Instant;
 
 /// Result of running a compiled loop.
 #[derive(Debug, Clone)]
@@ -43,17 +45,20 @@ pub fn run_vliw(
     mut state: MachineState,
     max_cycles: u64,
 ) -> Result<VliwRun, SimError> {
+    let t0 = Instant::now();
     let mut body_cycles: u64 = 0;
     let mut total_cycles: u64 = 0;
     let mut iterations: u64 = 1;
+    // One effect buffer for the whole run; every cycle reuses it.
+    let mut effects: Vec<Effect> = Vec::new();
 
     for cycle in &prog.prologue {
         total_cycles += 1;
-        let (broke, _) = state.step_cycle(cycle)?;
+        let (broke, _) = state.step_cycle_into(cycle, &mut effects)?;
         if broke {
             // A BREAK may legitimately fire during startup for very short
             // trip counts.
-            return finish(prog, state, 0, total_cycles, 0);
+            return finish(prog, state, 0, total_cycles, 0, &mut effects, t0);
         }
     }
 
@@ -66,8 +71,10 @@ pub fn run_vliw(
     // dispatch blocks, and the whole multiway decision belongs to that one
     // tree instruction: every dispatch level must test the *pre-cycle*
     // values, even if the cycle itself overwrote a condition register
-    // (e.g. recomputing a predicate for the next iteration).
-    let mut branch_ccs: Option<Vec<bool>> = None;
+    // (e.g. recomputing a predicate for the next iteration). The snapshot
+    // buffer is reused across blocks; `have_snap` plays the old `Option`.
+    let mut snap: Vec<bool> = Vec::new();
+    let mut have_snap = false;
 
     loop {
         let mut broke = false;
@@ -76,18 +83,28 @@ pub fn run_vliw(
                 return Err(SimError::CycleBudgetExceeded(max_cycles));
             }
             if i + 1 == block.cycles.len() {
-                branch_ccs = Some(state.ccs.clone());
+                snap.clear();
+                snap.extend_from_slice(&state.ccs);
+                have_snap = true;
             }
             body_cycles += 1;
             total_cycles += 1;
-            let (b, _) = state.step_cycle(cycle)?;
+            let (b, _) = state.step_cycle_into(cycle, &mut effects)?;
             if b {
                 broke = true;
                 break;
             }
         }
         if broke {
-            return finish(prog, state, body_cycles, total_cycles, iterations);
+            return finish(
+                prog,
+                state,
+                body_cycles,
+                total_cycles,
+                iterations,
+                &mut effects,
+                t0,
+            );
         }
         let succ = match block.term {
             VliwTerm::Jump(s) => s,
@@ -96,13 +113,14 @@ pub fn run_vliw(
                 on_true,
                 on_false,
             } => {
-                let v = match &branch_ccs {
-                    Some(snap) => *snap
+                let v = if have_snap {
+                    *snap
                         .get(cc.0 as usize)
-                        .ok_or_else(|| SimError::BadRegister(format!("{cc}")))?,
+                        .ok_or_else(|| SimError::BadRegister(format!("{cc}")))?
+                } else {
                     // No snapshot yet (entry dispatch before any body
                     // cycle): the committed state is the right one.
-                    None => state.cc(cc)?,
+                    state.cc(cc)?
                 };
                 if v {
                     on_true
@@ -111,7 +129,15 @@ pub fn run_vliw(
                 }
             }
             VliwTerm::Exit => {
-                return finish(prog, state, body_cycles, total_cycles, iterations);
+                return finish(
+                    prog,
+                    state,
+                    body_cycles,
+                    total_cycles,
+                    iterations,
+                    &mut effects,
+                    t0,
+                );
             }
         };
         if succ.back_edge {
@@ -124,7 +150,7 @@ pub fn run_vliw(
         if !block.cycles.is_empty() {
             // Leaving the dispatch fan-out: the next decision belongs to
             // the next branching cycle.
-            branch_ccs = None;
+            have_snap = false;
         }
     }
 }
@@ -135,11 +161,14 @@ fn finish(
     body_cycles: u64,
     mut total_cycles: u64,
     iterations: u64,
+    effects: &mut Vec<Effect>,
+    t0: Instant,
 ) -> Result<VliwRun, SimError> {
     for cycle in &prog.epilogue {
         total_cycles += 1;
-        state.step_cycle(cycle)?;
+        state.step_cycle_into(cycle, effects)?;
     }
+    stats::count_interp_run(total_cycles, t0.elapsed().as_micros() as u64);
     Ok(VliwRun {
         state,
         body_cycles,

@@ -14,7 +14,9 @@
 use psp_core::{pipeline_loop, PspConfig};
 use psp_machine::MachineConfig;
 use psp_opt::{certify, ExactConfig};
-use psp_verify::{fuzz, run_oracle, validate_modulo, validate_schedule, validate_vliw, FuzzConfig};
+use psp_verify::{
+    fuzz, run_oracle_with, validate_modulo, validate_schedule, validate_vliw, FuzzConfig,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -161,7 +163,9 @@ fn cmd_fuzz(rest: &[&str]) -> ExitCode {
             _ => return usage_fuzz(),
         }
     }
+    let sim_before = psp_sim::stats::snapshot();
     let outcome = fuzz(&cfg);
+    let sim = psp_sim::stats::snapshot().delta(&sim_before);
     if json {
         let findings: Vec<String> = outcome
             .findings
@@ -182,11 +186,12 @@ fn cmd_fuzz(rest: &[&str]) -> ExitCode {
             })
             .collect();
         println!(
-            "{{\"seed\":{},\"executed\":{},\"corpus\":{},\"elapsed_ms\":{},\"findings\":[{}]}}",
+            "{{\"seed\":{},\"executed\":{},\"corpus\":{},\"elapsed_ms\":{},\"sim\":{},\"findings\":[{}]}}",
             cfg.seed,
             outcome.executed,
             outcome.corpus,
             outcome.elapsed.as_millis(),
+            sim.to_json(),
             findings.join(",")
         );
     } else {
@@ -232,7 +237,9 @@ fn cmd_replay(file: &str) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run_oracle(&spec) {
+    // Replay always re-judges against the trusted interpreter, whatever
+    // engine the finding campaign ran.
+    match run_oracle_with(&spec, psp_sim::EngineKind::Interpreter) {
         Ok(_) => {
             println!("{file}: oracle clean");
             ExitCode::SUCCESS

@@ -23,7 +23,7 @@ use psp_core::{pipeline_loop, PspConfig};
 use psp_ir::LoopSpec;
 use psp_machine::{MachineConfig, VliwLoop};
 use psp_opt::{certify, Certification, ExactConfig};
-use psp_sim::check_equivalence;
+use psp_sim::{check_equivalence_batch, EngineKind, EquivConfig};
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -37,9 +37,11 @@ pub struct Failure {
     pub detail: String,
 }
 
-/// Differential input sizes: the smallest interesting trip counts plus one
-/// that exercises several pipelined passes.
-const EQUIV_INPUTS: [(usize, u64); 3] = [(1, 10), (2, 11), (7, 12)];
+/// Differential trials: three rungs of the [`psp_sim::TRIAL_LENS`] ladder
+/// (trip counts 1, 2 and 7) from base seed 10; `PSP_EQUIV_TRIALS` widens
+/// every oracle invocation at once.
+const EQUIV_TRIALS: usize = 3;
+const EQUIV_SEED: u64 = 10;
 const MAX_CYCLES: u64 = 1_000_000;
 
 fn fail(stage: &str, detail: impl std::fmt::Display) -> Failure {
@@ -63,18 +65,34 @@ fn check_violations(stage: &str, vs: Vec<Violation>) -> Result<(), Failure> {
     }
 }
 
-fn check_equiv(stage: &str, spec: &LoopSpec, prog: &VliwLoop) -> Result<(), Failure> {
-    for (len, seed) in EQUIV_INPUTS {
-        let init = grammar::initial(spec, len, seed);
-        check_equivalence(spec, prog, &init, MAX_CYCLES)
-            .map_err(|e| fail(stage, format!("len {len} seed {seed}: {e}")))?;
-    }
-    Ok(())
+fn check_equiv(
+    stage: &str,
+    spec: &LoopSpec,
+    prog: &VliwLoop,
+    engine: EngineKind,
+) -> Result<(), Failure> {
+    // Decode once, run the whole trial set over reusable scratch.
+    let cfg = EquivConfig::new(EQUIV_TRIALS, EQUIV_SEED)
+        .with_max_cycles(MAX_CYCLES)
+        .with_engine(engine);
+    check_equivalence_batch(spec, prog, &cfg, |seed, len| {
+        grammar::initial(spec, len, seed)
+    })
+    .map(|_| ())
+    .map_err(|e| fail(stage, e))
 }
 
-/// Run every technique and every checker on one loop. `Ok` carries the
-/// coverage features of the run.
+/// Run every technique and every checker on one loop, using the engine
+/// selected by the environment (decoded unless `PSP_SIM_ENGINE` says
+/// otherwise). `Ok` carries the coverage features of the run.
 pub fn run_oracle(spec: &LoopSpec) -> Result<Features, Failure> {
+    run_oracle_with(spec, EngineKind::from_env())
+}
+
+/// [`run_oracle`] with an explicit differential engine. Repro replay
+/// pins [`EngineKind::Interpreter`] so a reproducer always re-fails
+/// against the trusted reference, whatever found it.
+pub fn run_oracle_with(spec: &LoopSpec, engine: EngineKind) -> Result<Features, Failure> {
     let mut feats = Features::default();
     spec.validate()
         .map_err(|e| fail("spec", format!("{e:?}")))?;
@@ -87,12 +105,12 @@ pub fn run_oracle(spec: &LoopSpec) -> Result<Features, Failure> {
         "seq-validate",
         validate_vliw(spec, &MachineConfig::sequential(), &seq),
     )?;
-    check_equiv("seq-equiv", spec, &seq)?;
+    check_equiv("seq-equiv", spec, &seq, engine)?;
 
     for (label, m) in [("local-wide", &wide), ("local-narrow", &narrow)] {
         let prog = psp_baselines::compile_local(spec, m);
         check_violations(label, validate_vliw(spec, m, &prog))?;
-        check_equiv(label, spec, &prog)?;
+        check_equiv(label, spec, &prog, engine)?;
     }
 
     for (label, m) in [("psp-wide", &wide), ("psp-narrow", &narrow)] {
@@ -100,7 +118,7 @@ pub fn run_oracle(spec: &LoopSpec) -> Result<Features, Failure> {
             .map_err(|e| fail(label, format!("pipeline failed: {e}")))?;
         check_violations(label, validate_schedule(spec, m, &res.schedule))?;
         check_violations(label, validate_vliw(spec, m, &res.program))?;
-        check_equiv(label, spec, &res.program)?;
+        check_equiv(label, spec, &res.program, engine)?;
         if label == "psp-wide" {
             feats.record_stats(res.stats.counters());
             feats.psp_ii = res.schedule.n_rows().min(255) as u8;
@@ -167,7 +185,9 @@ impl FuzzConfig {
     pub fn smoke(seed: u64) -> Self {
         FuzzConfig {
             seed,
-            iters: if cfg!(debug_assertions) { 40 } else { 400 },
+            // The decoded engine made the oracle's differential stage much
+            // cheaper, so the same wall-clock box affords a deeper campaign.
+            iters: if cfg!(debug_assertions) { 60 } else { 1200 },
             budget: Some(Duration::from_secs(300)),
             repro_dir: Some(PathBuf::from("tests/repros")),
             max_failures: 3,

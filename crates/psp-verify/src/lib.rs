@@ -32,7 +32,7 @@ pub mod violation;
 pub mod vliw;
 
 pub use features::Features;
-pub use fuzz::{fuzz, run_oracle, Failure, Finding, FuzzConfig, FuzzOutcome};
+pub use fuzz::{fuzz, run_oracle, run_oracle_with, Failure, Finding, FuzzConfig, FuzzOutcome};
 pub use modulo::validate_modulo;
 pub use reduce::{reduce_failure, reduce_with};
 pub use schedule::validate_schedule;

@@ -1,0 +1,115 @@
+//! Per-phase cost probe for one batched equivalence check: where does a
+//! decoded-engine trial actually spend its time? A development aid for
+//! the E11 benchmark; run with
+//! `cargo run --release --example density_probe [kernel]`.
+
+use psp::prelude::*;
+use psp::sim::{EngineKind, EquivConfig, EquivEngine};
+use std::time::Instant;
+
+const LENS: [usize; 3] = [257, 1024, 4096];
+const TRIALS: usize = 6;
+const REPS: usize = 7;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cond_sum".into());
+    let kernel = by_name(&name).unwrap();
+    let cfg = PspConfig::default();
+    let res = pipeline_loop(&kernel.spec, &cfg).unwrap();
+    let prog = &res.program;
+
+    let ecfg = EquivConfig::fixed(TRIALS, 5).with_lens(&LENS);
+    let inputs: Vec<(u64, usize, MachineState)> = ecfg
+        .trial_inputs()
+        .into_iter()
+        .map(|(seed, len)| {
+            let data = KernelData::random(seed, len);
+            (seed, len, kernel.initial_state(&data))
+        })
+        .collect();
+
+    // Whole-batch wall time, both engines (full per-call path with trace).
+    for engine in [EngineKind::Interpreter, EngineKind::Decoded] {
+        let mut best = f64::MAX;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            for (_, _, init) in &inputs {
+                psp::sim::check_equivalence_with(&kernel.spec, prog, init, 10_000_000, engine)
+                    .unwrap();
+            }
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        println!("batch {:<12} {:>9.1}us", engine.label(), best * 1e6);
+    }
+
+    // Decoded engine, batch path: reused engine, no trace.
+    let mut eng = EquivEngine::new(&kernel.spec, prog);
+    let mut t_check = f64::MAX;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for (_, _, init) in &inputs {
+            eng.check(init, 10_000_000).unwrap();
+        }
+        t_check = t_check.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "batch check()     {:>9.1}us (reused engine, no trace)",
+        t_check * 1e6
+    );
+
+    // Clone cost of mk_init (what table_simbench's closure pays).
+    let mut t_clone = f64::MAX;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for (_, _, init) in &inputs {
+            std::hint::black_box(init.clone());
+        }
+        t_clone = t_clone.min(t.elapsed().as_secs_f64());
+    }
+    println!("mk_init clones    {:>9.1}us", t_clone * 1e6);
+
+    // Ref-only and vliw-only runs through the reusable engine pieces.
+    let dref = psp::sim::DecodedRef::decode(&kernel.spec);
+    let dvliw = psp::sim::DecodedVliw::decode(prog);
+    let mut scr = psp::sim::Scratch::default();
+    let (regs, ccs) = prog.register_demand();
+    let mut t_ref = f64::MAX;
+    let mut t_vliw = f64::MAX;
+    let mut ref_cycles = 0u64;
+    let mut vliw_cycles = 0u64;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        ref_cycles = 0;
+        for (_, _, init) in &inputs {
+            let mut st = init.clone();
+            ref_cycles += dref
+                .run(&mut st, &mut scr, 10_000_000, None)
+                .unwrap()
+                .cycles;
+        }
+        t_ref = t_ref.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        vliw_cycles = 0;
+        for (_, _, init) in &inputs {
+            let mut st = init.clone();
+            st.grow(regs.max(kernel.spec.n_regs), ccs.max(kernel.spec.n_ccs));
+            vliw_cycles += dvliw
+                .run(&mut st, &mut scr, 10_000_000)
+                .unwrap()
+                .total_cycles;
+        }
+        t_vliw = t_vliw.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "ref runs (+clone) {:>9.1}us  {:>8} cycles = {:>6.1}M c/s",
+        t_ref * 1e6,
+        ref_cycles,
+        ref_cycles as f64 / t_ref / 1e6
+    );
+    println!(
+        "vliw runs (+clone){:>9.1}us  {:>8} cycles = {:>6.1}M c/s",
+        t_vliw * 1e6,
+        vliw_cycles,
+        vliw_cycles as f64 / t_vliw / 1e6
+    );
+}

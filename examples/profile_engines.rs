@@ -1,0 +1,99 @@
+//! Engine throughput probe: steady-state simulated-cycles-per-second of
+//! the interpreter vs the pre-decoded engine, on a long-running input.
+//! A development aid for the E11 benchmark; run with
+//! `cargo run --release --example profile_engines`.
+
+use psp::prelude::*;
+use psp::sim::{DecodedRef, EngineKind, Scratch};
+use std::time::Instant;
+
+const REPS: usize = 5;
+
+fn best<F: FnMut() -> u64>(mut f: F) -> (u64, f64) {
+    let mut cycles = 0;
+    let mut dt = f64::MAX;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        cycles = f();
+        dt = dt.min(t.elapsed().as_secs_f64());
+    }
+    (cycles, dt)
+}
+
+fn report(label: &str, cycles: u64, dt: f64) {
+    println!(
+        "{label:<22} {cycles:>9} cycles {:>7.1}ms = {:>6.1}M c/s",
+        dt * 1e3,
+        cycles as f64 / dt / 1e6
+    );
+}
+
+fn main() {
+    let kernel = by_name(&std::env::args().nth(1).unwrap_or_else(|| "vecmin".into())).unwrap();
+    let len = 200_000usize;
+    let data = KernelData::random(7, len);
+    let mk = || kernel.initial_state(&data);
+
+    let (c, dt) = best(|| {
+        psp::sim::run_reference(&kernel.spec, mk(), u64::MAX)
+            .unwrap()
+            .cycles
+    });
+    report("interp ref", c, dt);
+
+    let dref = DecodedRef::decode(&kernel.spec);
+    let mut scr = Scratch::default();
+    let (c, dt) = best(|| {
+        let mut st = mk();
+        let mut trace = Vec::new();
+        dref.run(&mut st, &mut scr, u64::MAX, Some(&mut trace))
+            .unwrap()
+            .cycles
+    });
+    report("decoded ref (trace)", c, dt);
+    let (c, dt) = best(|| {
+        let mut st = mk();
+        dref.run(&mut st, &mut scr, u64::MAX, None).unwrap().cycles
+    });
+    report("decoded ref", c, dt);
+
+    let cfg = PspConfig::default();
+    let res = pipeline_loop(&kernel.spec, &cfg).unwrap();
+    for (label, prog) in [
+        ("psp", res.program.clone()),
+        ("local", compile_local(&kernel.spec, &cfg.machine)),
+    ] {
+        let (regs, ccs) = prog.register_demand();
+        let grown = |mut s: MachineState| {
+            s.grow(regs.max(kernel.spec.n_regs), ccs.max(kernel.spec.n_ccs));
+            s
+        };
+        let (c, dt) = best(|| {
+            psp::sim::run_vliw(&prog, grown(mk()), u64::MAX)
+                .unwrap()
+                .total_cycles
+        });
+        report(&format!("interp  vliw {label}"), c, dt);
+        let dvliw = psp::sim::DecodedVliw::decode(&prog);
+        let (c, dt) = best(|| {
+            let mut st = grown(mk());
+            dvliw.run(&mut st, &mut scr, u64::MAX).unwrap().total_cycles
+        });
+        report(&format!("decoded vliw {label}"), c, dt);
+    }
+
+    for engine in [EngineKind::Interpreter, EngineKind::Decoded] {
+        let (c, dt) = best(|| {
+            let (g, v) = psp::sim::check_equivalence_with(
+                &kernel.spec,
+                &res.program,
+                &mk(),
+                u64::MAX,
+                engine,
+            )
+            .unwrap();
+            g.cycles + v.total_cycles
+        });
+        report(&format!("equiv {}", engine.label()), c, dt);
+    }
+}

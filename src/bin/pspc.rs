@@ -333,6 +333,7 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
 fn cmd_run(args: &Args) -> Result<(), String> {
     let spec = args.load_spec()?;
     let init = initial_state(&spec, args)?;
+    let sim_before = psp::sim::stats::snapshot();
 
     let mut cfg = args.psp_config();
     if args.profile {
@@ -373,6 +374,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         golden.cycles as f64 / run.body_cycles.max(1) as f64,
     );
     println!("verified: live-outs and array memory match the reference interpreter ✓");
+    let sim = psp::sim::stats::snapshot().delta(&sim_before);
+    let rate = sim.decoded_cycles_per_sec() + sim.interp_cycles_per_sec();
+    println!(
+        "simulator: {} engine, {} trials, {} cycles simulated ({:.1}M cycles/sec)",
+        sim.engine(),
+        sim.trials,
+        sim.decoded_cycles + sim.interp_cycles,
+        rate / 1e6,
+    );
     for r in &spec.live_out {
         let v = match r {
             RegRef::Gpr(g) => run.state.regs[g.0 as usize],

@@ -75,6 +75,9 @@ pub mod prelude {
         certify, mii_lower_bound, modulo_to_vliw, Certification, ExactConfig, ExactResult,
     };
     pub use psp_predicate::{PathSet, PredicateMatrix};
-    pub use psp_sim::{check_equivalence, run_reference, run_vliw, BranchProfile, MachineState};
+    pub use psp_sim::{
+        check_equivalence, check_equivalence_batch, run_reference, run_vliw, BranchProfile,
+        EngineKind, EquivConfig, MachineState, SimStats,
+    };
     pub use psp_verify::{validate_modulo, validate_schedule, validate_vliw, Violation};
 }

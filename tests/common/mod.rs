@@ -151,7 +151,7 @@ pub fn initial(spec: &LoopSpec, len: usize, seed: u64) -> MachineState {
 }
 
 pub fn check_prog(spec: &LoopSpec, prog: &VliwLoop, label: &str) {
-    for (len, seed) in [(1usize, 10u64), (2, 11), (7, 12), (24, 13)] {
+    for (seed, len) in psp::sim::EquivConfig::new(4, 10).trial_inputs() {
         let init = initial(spec, len, seed);
         let (_, _) = check_equivalence(spec, prog, &init, 10_000_000)
             .unwrap_or_else(|e| panic!("[{label}] len {len}: {e}\nspec:\n{spec}\n{prog}"));

@@ -4,9 +4,12 @@
 //! A reproducer lands here when the fuzzer finds and minimizes a failure;
 //! after the fix it remains as a regression test. This suite asserts the
 //! oracle — every technique, every independent validator, differential
-//! equivalence — runs clean on each file.
+//! equivalence — runs clean on each file. Replay is pinned to the trusted
+//! `step_cycle` interpreter: a reproducer must stand on the reference
+//! semantics regardless of which engine found it.
 
-use psp::verify::run_oracle;
+use psp::sim::EngineKind;
+use psp::verify::run_oracle_with;
 use std::path::PathBuf;
 
 #[test]
@@ -22,7 +25,7 @@ fn all_reproducers_replay_clean() {
         let src = std::fs::read_to_string(&path).unwrap();
         let spec = psp::lang::compile(&src)
             .unwrap_or_else(|e| panic!("{}: does not compile: {e}", path.display()));
-        if let Err(f) = run_oracle(&spec) {
+        if let Err(f) = run_oracle_with(&spec, EngineKind::Interpreter) {
             panic!(
                 "{}: oracle fails at stage `{}`: {}",
                 path.display(),

@@ -5,13 +5,17 @@
 //!
 //! These are the boundary shapes most likely to expose prologue/epilogue
 //! bugs: pipelined code must tear down speculative work when the loop
-//! exits before the pipeline ever fills.
+//! exits before the pipeline ever fills. Every case runs through *both*
+//! execution engines — the `step_cycle` interpreter and the pre-decoded
+//! engine — so the decoded fast paths see the same boundary shapes.
 
 use psp::prelude::*;
-use psp::sim::MachineState;
+use psp::sim::{check_equivalence_with, MachineState};
 
-/// Every compilation technique, checked against the reference interpreter
-/// on one initial state.
+const ENGINES: [EngineKind; 2] = [EngineKind::Interpreter, EngineKind::Decoded];
+
+/// Every compilation technique × both execution engines, checked against
+/// the reference on one initial state.
 fn check_all(spec: &LoopSpec, init: &MachineState, label: &str) {
     let wide = MachineConfig::paper_default();
     let narrow = MachineConfig::narrow(2, 1, 1);
@@ -33,8 +37,11 @@ fn check_all(spec: &LoopSpec, init: &MachineState, label: &str) {
         ),
     ];
     for (tech, prog) in &progs {
-        check_equivalence(spec, prog, init, 1_000_000)
-            .unwrap_or_else(|e| panic!("[{label}/{tech}] {e}\n{spec}\n{prog}"));
+        for engine in ENGINES {
+            check_equivalence_with(spec, prog, init, 1_000_000, engine).unwrap_or_else(|e| {
+                panic!("[{label}/{tech}/{}] {e}\n{spec}\n{prog}", engine.label())
+            });
+        }
     }
 }
 
@@ -131,8 +138,10 @@ fn single_cell_arrays_across_all_kernels_smallest_input() {
             ("local", psp::baselines::compile_local(&kernel.spec, &wide)),
         ];
         for (tech, prog) in &progs {
-            check_equivalence(&kernel.spec, prog, &init, 1_000_000)
-                .unwrap_or_else(|e| panic!("[{}/{tech}] {e}", kernel.name));
+            for engine in ENGINES {
+                check_equivalence_with(&kernel.spec, prog, &init, 1_000_000, engine)
+                    .unwrap_or_else(|e| panic!("[{}/{tech}/{}] {e}", kernel.name, engine.label()));
+            }
         }
     }
 }
